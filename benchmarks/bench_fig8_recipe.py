@@ -1,0 +1,64 @@
+"""Figure 8 end-to-end — the Assess-Risk recipe on every benchmark.
+
+Runs the full recipe at the paper's tolerance tau = 0.1 and prints the
+per-dataset decision path (g, delta_med, interval O-estimate, alpha_max),
+checking the Section 7.3 read-offs: RETAIL is a clear disclose, CONNECT's
+alpha_max is small, PUMSB's is the largest among the alpha-bound
+datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_benchmark
+from repro.recipe import Decision, assess_risk
+
+DATASETS = ["connect", "pumsb", "accidents", "retail", "mushroom", "chess"]
+TAU = 0.1
+
+
+@pytest.fixture(scope="module")
+def reports():
+    results = {}
+    for name in DATASETS:
+        profile = load_benchmark(name).profile
+        results[name] = assess_risk(
+            profile, TAU, runs=5, rng=np.random.default_rng(8)
+        )
+    return results
+
+
+def test_recipe_table(report, reports, benchmark):
+    profile = load_benchmark("pumsb").profile
+    benchmark(assess_risk, profile, TAU, None, 5, np.random.default_rng(0))
+
+    lines = [
+        f"{'Dataset':>10} {'n':>6} {'g':>5} {'g/n':>7} {'delta_med':>11} "
+        f"{'OE frac':>8} {'alpha_max':>10}  decision"
+    ]
+    for name in DATASETS:
+        result = reports[name]
+        oe_fraction = (
+            f"{result.interval_estimate.fraction:8.4f}"
+            if result.interval_estimate
+            else "       -"
+        )
+        alpha = f"{result.alpha_max:10.3f}" if result.alpha_max is not None else "         -"
+        delta = f"{result.delta:11.3g}" if result.delta is not None else "          -"
+        lines.append(
+            f"{name.upper():>10} {result.n_items:>6} {result.g:>5} "
+            f"{result.g / result.n_items:>7.3f} {delta} {oe_fraction} {alpha}  "
+            f"{result.decision.name}"
+        )
+    lines.append(f"(tau = {TAU}; paper Section 7.3)")
+    report("fig8_recipe", lines)
+
+    # Section 7.3 conclusions.
+    assert reports["retail"].disclose  # "a clear decision to release"
+    assert reports["connect"].decision is Decision.ALPHA_BOUND
+    assert reports["connect"].alpha_max < 0.3  # paper: ~0.2
+    assert reports["pumsb"].decision is Decision.ALPHA_BOUND
+    assert reports["pumsb"].alpha_max > reports["connect"].alpha_max  # paper: ~0.7
+    assert reports["accidents"].alpha_max > reports["connect"].alpha_max

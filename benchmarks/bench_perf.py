@@ -1,0 +1,66 @@
+"""Performance benchmarks (Section 5.1's complexity claims, Section 7.2).
+
+* The O-estimate runs in O(|D| + n log n): the paper reports "a few
+  seconds" on RETAIL for its 2005 hardware; this harness times the same
+  computation here.
+* Sampler throughput (proposals/second) and miner comparison
+  (Apriori vs FP-growth) round out the substrate timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beliefs import uniform_width_belief
+from repro.core import o_estimate
+from repro.data import FrequencyGroups
+from repro.datasets import load_benchmark, random_database
+from repro.graph import space_from_frequencies
+from repro.mining import apriori, fp_growth
+from repro.simulation import MatchingSampler
+
+
+@pytest.fixture(scope="module")
+def retail_space():
+    profile = load_benchmark("retail").profile
+    frequencies = profile.frequencies()
+    delta = FrequencyGroups(frequencies).median_gap()
+    return space_from_frequencies(uniform_width_belief(frequencies, delta), frequencies)
+
+
+def test_perf_oestimate_retail(benchmark, retail_space):
+    """Figure 5's full pipeline on the largest domain (16,470 items)."""
+    result = benchmark(o_estimate, retail_space)
+    assert result.value > 0
+
+
+def test_perf_space_construction_retail(benchmark):
+    profile = load_benchmark("retail").profile
+    frequencies = profile.frequencies()
+    delta = FrequencyGroups(frequencies).median_gap()
+    belief = uniform_width_belief(frequencies, delta)
+    space = benchmark(space_from_frequencies, belief, frequencies)
+    assert space.n == 16470
+
+
+def test_perf_sampler_sweep_pumsb(benchmark):
+    profile = load_benchmark("pumsb").profile
+    frequencies = profile.frequencies()
+    delta = FrequencyGroups(frequencies).median_gap()
+    space = space_from_frequencies(uniform_width_belief(frequencies, delta), frequencies)
+    sampler = MatchingSampler(space, rng=np.random.default_rng(1))
+    benchmark(sampler.sweep, 1)
+    assert sampler.check_consistency()
+
+
+def test_perf_apriori(benchmark, rng):
+    db = random_database(30, 500, density=0.25, rng=rng)
+    result = benchmark(apriori, db, 0.15)
+    assert result
+
+
+def test_perf_fpgrowth(benchmark, rng):
+    db = random_database(30, 500, density=0.25, rng=rng)
+    result = benchmark(fp_growth, db, 0.15)
+    assert result

@@ -1,0 +1,91 @@
+"""Powerset-belief refinement study (paper, Section 8.2).
+
+How much sharper does the attack get when the hacker also holds pairwise
+co-occurrence knowledge?  On a Quest-style correlated database, compare
+the item-level O-estimate against the pairwise-refined one as the number
+of known pairs grows — quantifying the paper's closing observation that
+itemset-level information defeats camouflage that item frequencies alone
+cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymize import anonymize
+from repro.beliefs import Interval, uniform_width_belief
+from repro.core import o_estimate
+from repro.datasets import QuestParameters, quest_database
+from repro.extensions import PairBelief, refine_with_pair_beliefs
+from repro.graph import space_from_anonymized
+from repro.mining import eclat
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(88)
+    db = quest_database(
+        QuestParameters(
+            n_items=40,
+            n_transactions=600,
+            avg_transaction_size=6,
+            avg_pattern_size=3,
+            n_patterns=25,
+        ),
+        rng=rng,
+    )
+    released = anonymize(db, rng=rng)
+    # True pair supports of the most frequent pairs (what a competitor in
+    # the same market would know best).
+    pairs = [
+        fi for fi in eclat(db, min_support=0.02, max_size=2) if len(fi.items) == 2
+    ]
+    pairs.sort(key=lambda fi: -fi.support)
+    return db, released, pairs
+
+
+def test_pair_knowledge_sharpens_attack(report, workload, benchmark):
+    db, released, pairs = workload
+    # Ball-park item knowledge (wide intervals leave plenty of
+    # camouflage); ball-park pair knowledge then breaks it.
+    item_belief = uniform_width_belief(db.frequencies(), 0.08)
+    baseline = o_estimate(space_from_anonymized(item_belief, released))
+
+    budgets = [0, 5, 15, 40, len(pairs)]
+    lines = [f"{'#known pairs':>13} {'OE':>8} {'fraction':>9}"]
+    values = []
+    for budget in budgets:
+        if budget == 0:
+            estimate = baseline
+        else:
+            pair_belief = PairBelief(
+                {fi.items: Interval.around(fi.support, 0.01) for fi in pairs[:budget]}
+            )
+            space = refine_with_pair_beliefs(released, item_belief, pair_belief)
+            estimate = o_estimate(space)
+        values.append(estimate.value)
+        lines.append(f"{budget:>13} {estimate.value:>8.2f} {estimate.fraction:>9.3f}")
+    lines.append(
+        "(ball-park item intervals of width 0.16; each known pair support "
+        "prunes the consistent-mapping graph by arc consistency)"
+    )
+    report("powerset_pair_refinement", lines)
+
+    benchmark.pedantic(
+        lambda: refine_with_pair_beliefs(
+            released,
+            item_belief,
+            PairBelief(
+                {fi.items: Interval.around(fi.support, 0.01) for fi in pairs[:15]}
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Pair knowledge can only sharpen the attack, and with the full pair
+    # list it must sharpen it strictly (the workload has camouflage
+    # groups that pair supports break).
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[-1] > values[0]

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+is driven by pytest-benchmark::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag lets the reproduced tables reach the terminal; every
+table is also persisted under ``benchmarks/results/`` regardless.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a reproduced table and persist it under benchmarks/results/."""
+
+    def _report(name: str, lines: list[str]) -> None:
+        text = "\n".join([f"=== {name} ==="] + lines) + "\n"
+        print("\n" + text, end="")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+    return _report
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20050614)

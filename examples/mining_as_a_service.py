@@ -1,0 +1,114 @@
+"""Scenario 1 of the paper: mining as a service.
+
+A company without data-mining expertise ships its (anonymized) basket
+data to an external provider.  This example plays both sides:
+
+* the **provider** mines the released data and returns renamed patterns
+  the owner can translate back — service delivered;
+* a **leak** happens: a competitor obtains the released file plus public
+  market-share figures (approximate frequencies of well-known products).
+  We quantify exactly how many product identities the competitor should
+  expect to recover, item by item, and how the owner could have foreseen
+  it with the recipe.
+
+Run with::
+
+    python examples/mining_as_a_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BeliefFunction,
+    Interval,
+    TransactionDatabase,
+    anonymize,
+    assess_risk,
+    fp_growth,
+    o_estimate,
+    space_from_anonymized,
+)
+from repro.datasets import zipf_profile
+from repro.datasets.synthetic import database_from_profile
+from repro.simulation import simulate_expected_cracks
+
+
+def build_catalogue_database() -> TransactionDatabase:
+    """A 60-product catalogue with Zipf-like popularity."""
+    profile = zipf_profile(
+        n_items=60, n_transactions=3000, exponent=0.9, max_frequency=0.6,
+        rng=np.random.default_rng(3),
+    )
+    return database_from_profile(profile, rng=np.random.default_rng(4))
+
+
+def competitor_belief(db: TransactionDatabase) -> BeliefFunction:
+    """Market knowledge: good ranges for the top sellers, vague elsewhere.
+
+    The competitor reads industry reports: the 10 best-selling products'
+    penetration is known within +/-2 points; the mid-market within +/-10;
+    the long tail is anyone's guess.
+    """
+    frequencies = db.frequencies()
+    ranked = sorted(frequencies, key=frequencies.get, reverse=True)
+    intervals = {}
+    for rank, item in enumerate(ranked):
+        f = frequencies[item]
+        if rank < 10:
+            intervals[item] = Interval.around(f, 0.02)
+        elif rank < 30:
+            intervals[item] = Interval.around(f, 0.10)
+        else:
+            intervals[item] = Interval(0.0, max(0.2, f))
+    return BeliefFunction(intervals)
+
+
+def main() -> None:
+    db = build_catalogue_database()
+    released = anonymize(db, rng=np.random.default_rng(5))
+    print(f"shipped to provider: {db.n_transactions} transactions, "
+          f"{len(db.domain)} anonymized products")
+
+    # -- the service works -------------------------------------------------
+    patterns = fp_growth(released.database, min_support=0.2)
+    print(f"provider returns {len(patterns)} frequent itemsets (renamed); "
+          "owner translates them back with the secret mapping")
+    top = patterns[0]
+    translated = {released.mapping.deanonymize_item(a) for a in top.items}
+    print(f"  e.g. top pattern {set(top.items)} -> products {translated} "
+          f"(support {top.support:.0%})")
+
+    # -- the leak ----------------------------------------------------------
+    belief = competitor_belief(db)
+    space = space_from_anonymized(belief, released)
+    estimate = o_estimate(space)
+    simulated = simulate_expected_cracks(
+        space, runs=3, samples_per_run=200, rng=np.random.default_rng(6),
+        rao_blackwell=True, method="gibbs",
+    )
+    print("\nif the file leaks to a competitor with market knowledge:")
+    print(f"  O-estimate of recovered identities : {estimate.value:.1f} "
+          f"({estimate.fraction:.0%} of the catalogue)")
+    print(f"  simulated                          : {simulated.mean:.1f} "
+          f"+/- {simulated.std:.1f}")
+
+    # Which products are most exposed?
+    degrees = space.outdegrees()
+    exposed = sorted(
+        ((1.0 / degrees[i], space.items[i]) for i in space.compliant_indices()),
+        reverse=True,
+    )
+    print("  most exposed products (crack probability by O-estimate):")
+    for probability, item in exposed[:5]:
+        print(f"    {item!r:>6}: {probability:.0%}")
+
+    # -- what the recipe would have said ------------------------------------
+    report = assess_risk(db, tolerance=0.1, rng=np.random.default_rng(2))
+    print("\nAssess-Risk verdict at tau = 0.1:")
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

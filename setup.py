@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable-wheel support (it lets pip fall back to the legacy
+``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Owner-facing risk reporting on top of the core estimators.
+
+Turns a mapping space into per-item risk accounting
+(:class:`~repro.analysis.profile.RiskProfile`) and decision-support
+curves (:mod:`repro.analysis.curves`): which items drive the O-estimate,
+how the risk responds to the interval width, and how ``alpha_max`` moves
+with the owner's tolerance.
+"""
+
+from repro.analysis.curves import delta_sensitivity, tolerance_curve
+from repro.analysis.profile import ItemRisk, RiskProfile
+
+__all__ = ["ItemRisk", "RiskProfile", "tolerance_curve", "delta_sensitivity"]

@@ -1,0 +1,95 @@
+"""Decision-support curves for the data owner.
+
+Two sensitivity analyses that the recipe's point decision hides:
+
+* :func:`tolerance_curve` — how ``alpha_max`` moves as the owner's
+  tolerance varies (the recipe fixes one ``tau``; the curve shows the
+  whole trade-off);
+* :func:`delta_sensitivity` — how the fully compliant O-estimate decays
+  as the assumed interval width grows (Lemma 8 guarantees monotonicity;
+  the curve shows how fast camouflage builds up, and hence how sensitive
+  the decision is to the ``delta_med`` choice).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.beliefs.builders import uniform_width_belief
+from repro.core.alpha import compliance_prefix_sums
+from repro.core.oestimate import o_estimate
+from repro.errors import RecipeError
+from repro.graph.bipartite import MappingSpace, space_from_frequencies
+
+__all__ = ["TolerancePoint", "tolerance_curve", "DeltaPoint", "delta_sensitivity"]
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class TolerancePoint:
+    """One point of the tolerance -> alpha_max curve."""
+
+    tolerance: float
+    alpha_max: float
+
+
+def tolerance_curve(
+    space: MappingSpace,
+    tolerances: Sequence[float],
+    runs: int = 5,
+    rng: np.random.Generator | None = None,
+) -> list[TolerancePoint]:
+    """``alpha_max`` as a function of the owner's tolerance.
+
+    All tolerances are answered from one set of per-run prefix sums, so
+    the whole curve costs the same as a single ``alpha_max`` query and
+    is exactly monotone in the tolerance.
+    """
+    for tolerance in tolerances:
+        if not 0.0 <= tolerance <= 1.0:
+            raise RecipeError(f"tolerance must be in [0, 1], got {tolerance}")
+    prefix = compliance_prefix_sums(space, runs=runs, rng=rng)
+    mean_curve = prefix.mean(axis=0)
+    n = space.n
+    points = []
+    for tolerance in tolerances:
+        admissible = np.flatnonzero(mean_curve <= tolerance * n + 1e-12)
+        best = int(admissible[-1]) if admissible.size else 0
+        points.append(TolerancePoint(tolerance=float(tolerance), alpha_max=best / n))
+    return points
+
+
+@dataclass(frozen=True)
+class DeltaPoint:
+    """One point of the width -> O-estimate curve."""
+
+    delta: float
+    estimate: float
+    fraction: float
+
+
+def delta_sensitivity(
+    true_frequencies: Mapping[Item, float],
+    deltas: Sequence[float],
+) -> list[DeltaPoint]:
+    """Fully compliant O-estimate as the interval half-width grows.
+
+    Non-increasing in ``delta`` by Lemma 8.  A steep initial drop means
+    small uncertainty already provides camouflage (dense datasets); a
+    flat curve means isolated frequencies keep items exposed no matter
+    the assumed width (sparse singleton-heavy datasets).
+    """
+    points = []
+    for delta in deltas:
+        belief = uniform_width_belief(true_frequencies, float(delta))
+        space = space_from_frequencies(belief, true_frequencies)
+        result = o_estimate(space)
+        points.append(
+            DeltaPoint(delta=float(delta), estimate=result.value, fraction=result.fraction)
+        )
+    return points

@@ -1,0 +1,158 @@
+"""Per-item risk profiles.
+
+The O-estimate decomposes over items (``OE = sum 1/O_x``), so the risk
+has an exact per-item attribution: an item's crack probability under the
+estimate is ``1/O_x`` when the belief is compliant on it and 0
+otherwise.  :class:`RiskProfile` materializes that attribution, ranks
+the exposed items, and renders owner-readable reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
+
+__all__ = ["ItemRisk", "RiskProfile"]
+
+
+@dataclass(frozen=True)
+class ItemRisk:
+    """Risk attribution for one item.
+
+    Attributes
+    ----------
+    item:
+        The original item.
+    outdegree:
+        ``O_x`` — anonymized items that may map to it.
+    compliant:
+        Whether the hacker's interval contains the true frequency.
+    crack_probability:
+        ``1/O_x`` if compliant else 0 — the O-estimate's attribution.
+    frequency:
+        The item's true frequency when known (frequency spaces), else
+        ``None``.
+    """
+
+    item: object
+    outdegree: int
+    compliant: bool
+    crack_probability: float
+    frequency: float | None = None
+
+    @property
+    def surely_cracked(self) -> bool:
+        """Certain identification under the estimate (``O_x = 1``, compliant)."""
+        return self.compliant and self.outdegree == 1
+
+
+class RiskProfile:
+    """The full per-item risk attribution of a mapping space."""
+
+    def __init__(self, items: list[ItemRisk], n: int):
+        self._items = sorted(
+            items, key=lambda r: (-r.crack_probability, repr(r.item))
+        )
+        self._n = n
+
+    @classmethod
+    def from_space(cls, space: MappingSpace) -> "RiskProfile":
+        """Attribute the O-estimate of *space* to its items."""
+        outdegrees = space.outdegrees()
+        compliant = set(int(i) for i in space.compliant_indices())
+        risks = []
+        for i in range(space.n):
+            degree = int(outdegrees[i])
+            is_compliant = i in compliant
+            frequency = None
+            if isinstance(space, FrequencyMappingSpace):
+                frequency = float(space.observed[space.true_partner(i)])
+            risks.append(
+                ItemRisk(
+                    item=space.items[i],
+                    outdegree=degree,
+                    compliant=is_compliant,
+                    crack_probability=1.0 / degree if is_compliant and degree else 0.0,
+                    frequency=frequency,
+                )
+            )
+        return cls(risks, space.n)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[ItemRisk, ...]:
+        """All items, most exposed first."""
+        return tuple(self._items)
+
+    @property
+    def expected_cracks(self) -> float:
+        """The O-estimate this profile decomposes."""
+        return sum(risk.crack_probability for risk in self._items)
+
+    @property
+    def expected_fraction(self) -> float:
+        """Expected cracks as a fraction of the domain."""
+        return self.expected_cracks / self._n
+
+    @property
+    def n_surely_cracked(self) -> int:
+        """Items identified with certainty under the estimate."""
+        return sum(1 for risk in self._items if risk.surely_cracked)
+
+    @property
+    def n_noncompliant(self) -> int:
+        """Items the hacker guessed wrong (never crackable consistently)."""
+        return sum(1 for risk in self._items if not risk.compliant)
+
+    def top_exposed(self, k: int = 10) -> tuple[ItemRisk, ...]:
+        """The ``k`` items with the highest crack probability."""
+        return tuple(self._items[:k])
+
+    def probability_histogram(self, bin_edges: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.999, 1.0)) -> dict:
+        """Counts of items per crack-probability band."""
+        probabilities = np.array([risk.crack_probability for risk in self._items])
+        histogram = {}
+        for low, high in zip(bin_edges, bin_edges[1:]):
+            label = f"({low:.2f}, {high:.2f}]"
+            histogram[label] = int(((probabilities > low) & (probabilities <= high)).sum())
+        histogram[f"== 0.00"] = int((probabilities == 0.0).sum())
+        return histogram
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_markdown(self, top_k: int = 10) -> str:
+        """A markdown report for the data owner."""
+        lines = [
+            "# Disclosure risk profile",
+            "",
+            f"* domain size: **{self._n}** items",
+            f"* expected cracks (O-estimate): **{self.expected_cracks:.2f}** "
+            f"({self.expected_fraction:.1%} of the domain)",
+            f"* identified with certainty: **{self.n_surely_cracked}**",
+            f"* protected by wrong guesses (non-compliant): **{self.n_noncompliant}**",
+            "",
+            f"## Top {top_k} exposed items",
+            "",
+            "| item | frequency | outdegree | crack probability |",
+            "|---|---|---|---|",
+        ]
+        for risk in self.top_exposed(top_k):
+            frequency = "-" if risk.frequency is None else f"{risk.frequency:.4f}"
+            lines.append(
+                f"| {risk.item!r} | {frequency} | {risk.outdegree} "
+                f"| {risk.crack_probability:.0%} |"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"RiskProfile(n={self._n}, expected_cracks={self.expected_cracks:.2f}, "
+            f"sure={self.n_surely_cracked})"
+        )

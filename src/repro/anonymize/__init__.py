@@ -1,0 +1,6 @@
+"""Anonymization — bijective renaming of the item domain (Section 2.1)."""
+
+from repro.anonymize.database import AnonymizedDatabase, anonymize
+from repro.anonymize.mapping import AnonymizationMapping
+
+__all__ = ["AnonymizationMapping", "AnonymizedDatabase", "anonymize"]

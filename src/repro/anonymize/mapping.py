@@ -1,0 +1,144 @@
+"""Anonymization mappings — bijections from ``I`` to ``J`` (Section 2.1).
+
+The paper anonymizes a database by renaming every item through a bijection
+onto a disjoint anonymized domain, "typically as simple as a positive
+integer".  The mapping is applied uniformly: if item 1 becomes 1', it
+becomes 1' in every transaction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import DataError, DomainMismatchError
+
+__all__ = ["AnonymizationMapping", "AnonymizedItem"]
+
+Item = Hashable
+
+
+class AnonymizedItem:
+    """An opaque anonymized identifier ``x'`` in the anonymized domain ``J``.
+
+    Wrapping the integer label in a distinct type keeps ``I`` and ``J``
+    disjoint even when the original items are integers too, matching the
+    paper's requirement ``J intersect I = empty set``.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: int):
+        self.label = int(label)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AnonymizedItem) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash(("AnonymizedItem", self.label))
+
+    def __lt__(self, other: "AnonymizedItem") -> bool:
+        if not isinstance(other, AnonymizedItem):
+            return NotImplemented
+        return self.label < other.label
+
+    def __repr__(self) -> str:
+        return f"{self.label}'"
+
+
+class AnonymizationMapping:
+    """A bijection from the original domain ``I`` to anonymized items.
+
+    Construct with :meth:`random` (the owner's usual procedure — a random
+    renaming) or :meth:`from_dict` for an explicit mapping.
+    """
+
+    __slots__ = ("_forward", "_backward")
+
+    def __init__(self, forward: Mapping[Item, AnonymizedItem]):
+        backward: dict[AnonymizedItem, Item] = {}
+        for item, anonymized in forward.items():
+            if not isinstance(anonymized, AnonymizedItem):
+                raise DataError(f"mapping target {anonymized!r} is not an AnonymizedItem")
+            if anonymized in backward:
+                raise DataError(f"mapping is not injective: {anonymized!r} used twice")
+            backward[anonymized] = item
+        self._forward = dict(forward)
+        self._backward = backward
+
+    @classmethod
+    def random(
+        cls, domain: Iterable[Item], rng: np.random.Generator | None = None
+    ) -> "AnonymizationMapping":
+        """A uniformly random bijection of *domain* onto ``{1', ..., n'}``."""
+        rng = np.random.default_rng() if rng is None else rng
+        items = sorted(domain, key=repr)
+        if not items:
+            raise DataError("cannot anonymize an empty domain")
+        labels = rng.permutation(len(items)) + 1
+        return cls({item: AnonymizedItem(int(label)) for item, label in zip(items, labels)})
+
+    @classmethod
+    def identity_labels(cls, domain: Iterable[Item]) -> "AnonymizationMapping":
+        """Map the sorted domain onto ``1', 2', ...`` in order.
+
+        Deterministic; convenient for doctests and worked examples (the
+        paper's BigMart example uses exactly this labelling).
+        """
+        items = sorted(domain, key=repr)
+        if not items:
+            raise DataError("cannot anonymize an empty domain")
+        return cls({item: AnonymizedItem(i) for i, item in enumerate(items, start=1)})
+
+    @classmethod
+    def from_dict(cls, forward: Mapping[Item, AnonymizedItem]) -> "AnonymizationMapping":
+        """An explicit bijection given as a dictionary."""
+        return cls(forward)
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def original_domain(self) -> frozenset:
+        """The original item domain ``I``."""
+        return frozenset(self._forward)
+
+    @property
+    def anonymized_domain(self) -> frozenset:
+        """The anonymized item domain ``J``."""
+        return frozenset(self._backward)
+
+    def anonymize_item(self, item: Item) -> AnonymizedItem:
+        """``x -> x'``."""
+        try:
+            return self._forward[item]
+        except KeyError:
+            raise DomainMismatchError(f"item {item!r} not in the mapped domain") from None
+
+    def deanonymize_item(self, anonymized: AnonymizedItem) -> Item:
+        """``x' -> x`` (the owner's inverse; a hacker does not have this)."""
+        try:
+            return self._backward[anonymized]
+        except KeyError:
+            raise DomainMismatchError(f"{anonymized!r} not in the anonymized domain") from None
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __repr__(self) -> str:
+        return f"AnonymizationMapping(n_items={len(self._forward)})"
+
+    # -- evaluation helpers ------------------------------------------------------
+
+    def count_cracks(self, crack_mapping: Mapping[AnonymizedItem, Item]) -> int:
+        """Number of anonymized items a crack mapping identifies correctly.
+
+        A crack mapping is the hacker's guess ``C : J -> I``; item ``x`` is
+        cracked when ``C(x') = x`` (Section 2.3).
+        """
+        return sum(
+            1
+            for anonymized, guess in crack_mapping.items()
+            if self._backward.get(anonymized) == guess
+        )

@@ -1,0 +1,25 @@
+"""The hacker's side: constructing and scoring actual crack mappings.
+
+The paper analyzes how many cracks a hacker gets *in expectation*; this
+package makes the attack concrete, which the owner-side analysis needs
+for red-teaming:
+
+* :func:`~repro.attack.guess.best_guess_mapping` — the hacker's best
+  deterministic guess (forced pairs from propagation, maximum-marginal
+  assignment within the remaining freedom) with its expected accuracy;
+* :func:`~repro.attack.guess.candidate_ranking` — the posterior over
+  original items for one anonymized item;
+* :func:`~repro.attack.evaluate.evaluate_attack` — run an attack against
+  a released database and score it against the owner's ground truth.
+"""
+
+from repro.attack.evaluate import AttackOutcome, evaluate_attack
+from repro.attack.guess import CrackGuess, best_guess_mapping, candidate_ranking
+
+__all__ = [
+    "CrackGuess",
+    "best_guess_mapping",
+    "candidate_ranking",
+    "AttackOutcome",
+    "evaluate_attack",
+]

@@ -1,0 +1,48 @@
+"""Belief functions — the hacker's partial knowledge (paper, Section 2.2).
+
+A belief function maps each item of the original domain to a frequency
+interval ``[l, r]``: the hacker believes the item's true frequency lies in
+that range.  The special classes the paper analyzes are all constructible
+here:
+
+* *ignorant* — every interval is ``[0, 1]`` (no knowledge, Section 3.1);
+* *compliant point-valued* — every interval is the exact true frequency
+  (total knowledge, Section 3.2);
+* *compliant interval* — every interval contains the true frequency
+  (Section 4), e.g. uniform-width ``[f - delta, f + delta]`` intervals;
+* *alpha-compliant* — only a fraction ``alpha`` of the intervals contain
+  the true frequency (Section 5.3).
+"""
+
+from repro.beliefs.builders import (
+    alpha_compliant_belief,
+    from_sample_belief,
+    ignorant_belief,
+    interval_belief,
+    point_belief,
+    uniform_width_belief,
+)
+from repro.beliefs.function import BeliefFunction
+from repro.beliefs.noise import (
+    gaussian_noise_belief,
+    laplace_noise_belief,
+    relative_error_belief,
+)
+from repro.beliefs.interval import Interval
+from repro.beliefs.order import is_compliancy_refinement, is_refinement
+
+__all__ = [
+    "Interval",
+    "BeliefFunction",
+    "ignorant_belief",
+    "point_belief",
+    "interval_belief",
+    "uniform_width_belief",
+    "alpha_compliant_belief",
+    "from_sample_belief",
+    "is_refinement",
+    "is_compliancy_refinement",
+    "gaussian_noise_belief",
+    "laplace_noise_belief",
+    "relative_error_belief",
+]

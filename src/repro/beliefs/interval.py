@@ -1,0 +1,86 @@
+"""Closed frequency intervals ``[low, high]`` within ``[0, 1]``.
+
+The building block of belief functions (paper, Section 2.2).  Intervals
+are closed on both ends, matching the paper's consistency rule: an
+anonymized item with observed frequency ``F`` may map to item ``x`` iff
+``beta(x).low <= F <= beta(x).high``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidIntervalError
+
+__all__ = ["Interval", "FULL_INTERVAL"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed sub-interval of ``[0, 1]``.
+
+    ``Interval(f, f)`` is a *point* belief (exact knowledge of frequency
+    ``f``); ``Interval(0, 1)`` is total ignorance.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.high <= 1.0:
+            raise InvalidIntervalError(
+                f"interval [{self.low}, {self.high}] violates 0 <= low <= high <= 1"
+            )
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return cls(value, value)
+
+    @classmethod
+    def around(cls, center: float, delta: float) -> "Interval":
+        """``[center - delta, center + delta]`` clamped to ``[0, 1]``.
+
+        This is the recipe's construction (Figure 8, step 5): the belief
+        interval of an item with true frequency ``f`` is
+        ``[f - delta_med, f + delta_med]``.
+        """
+        if delta < 0:
+            raise InvalidIntervalError(f"width delta must be non-negative, got {delta}")
+        return cls(max(0.0, center - delta), min(1.0, center + delta))
+
+    # -- predicates --------------------------------------------------------
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Interval containment: ``other subset-of self``.
+
+        Matches Definition 7 of the paper: ``[l1, r1] subset [l2, r2]``
+        iff ``l1 >= l2`` and ``r1 <= r2``.
+        """
+        return self.low <= other.low and other.high <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    @property
+    def is_point(self) -> bool:
+        """True for degenerate (exact-knowledge) intervals."""
+        return self.low == self.high
+
+    @property
+    def width(self) -> float:
+        """``high - low``; 0 for point intervals."""
+        return self.high - self.low
+
+    def __repr__(self) -> str:
+        if self.is_point:
+            return f"Interval.point({self.low})"
+        return f"Interval({self.low}, {self.high})"
+
+
+FULL_INTERVAL = Interval(0.0, 1.0)
+"""The ignorant interval ``[0, 1]``."""

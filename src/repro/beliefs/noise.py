@@ -1,0 +1,106 @@
+"""Noise-model belief builders: hackers with imperfect measurements.
+
+Section 7.4 models partial information by *sampling*; these builders
+model it by *measurement error* instead — the hacker's frequency
+estimates are the truth plus noise (market research, scanner panels,
+scraped data).  The induced degree of compliancy is then a transparent
+function of the noise-to-width ratio, which makes these models handy for
+calibrating how much error a given interval width tolerates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Hashable
+
+import numpy as np
+
+from repro.beliefs.function import BeliefFunction
+from repro.beliefs.interval import Interval
+from repro.errors import BeliefError
+
+__all__ = [
+    "gaussian_noise_belief",
+    "laplace_noise_belief",
+    "relative_error_belief",
+]
+
+Item = Hashable
+
+
+def _noisy_centers(
+    frequencies: Mapping[Item, float],
+    noise: np.ndarray,
+) -> dict:
+    items = sorted(frequencies, key=repr)
+    return {
+        item: float(np.clip(frequencies[item] + noise[rank], 0.0, 1.0))
+        for rank, item in enumerate(items)
+    }
+
+
+def gaussian_noise_belief(
+    frequencies: Mapping[Item, float],
+    sigma: float,
+    width: float,
+    rng: np.random.Generator | None = None,
+) -> BeliefFunction:
+    """Intervals of half-width *width* around Gaussian-noised frequencies.
+
+    Each item's believed center is ``f + N(0, sigma)`` (clipped to
+    ``[0, 1]``); the item is compliant exactly when the noise stays
+    within ``width``, so the expected compliancy is
+    ``P(|N(0, sigma)| <= width)`` — e.g. ``width = sigma`` gives
+    alpha ~ 0.68, ``width = 2 sigma`` gives alpha ~ 0.95.
+    """
+    if sigma < 0 or width < 0:
+        raise BeliefError("sigma and width must be non-negative")
+    rng = np.random.default_rng() if rng is None else rng
+    noise = rng.normal(0.0, sigma, size=len(frequencies))
+    centers = _noisy_centers(frequencies, noise)
+    return BeliefFunction(
+        {item: Interval.around(center, width) for item, center in centers.items()}
+    )
+
+
+def laplace_noise_belief(
+    frequencies: Mapping[Item, float],
+    scale: float,
+    width: float,
+    rng: np.random.Generator | None = None,
+) -> BeliefFunction:
+    """Like :func:`gaussian_noise_belief` with Laplace(0, scale) noise.
+
+    The Laplace model matches a hacker whose information comes from a
+    differentially-private release of the frequencies — the expected
+    compliancy ``1 - exp(-width/scale)`` quantifies how much such a
+    release helps an attacker under the paper's framework.
+    """
+    if scale < 0 or width < 0:
+        raise BeliefError("scale and width must be non-negative")
+    rng = np.random.default_rng() if rng is None else rng
+    noise = rng.laplace(0.0, scale, size=len(frequencies)) if scale else np.zeros(len(frequencies))
+    centers = _noisy_centers(frequencies, noise)
+    return BeliefFunction(
+        {item: Interval.around(center, width) for item, center in centers.items()}
+    )
+
+
+def relative_error_belief(
+    frequencies: Mapping[Item, float],
+    relative_error: float,
+) -> BeliefFunction:
+    """Compliant intervals ``[f (1 - r), f (1 + r)]`` (clipped to [0, 1]).
+
+    Models a hacker who knows every frequency "to within r percent" —
+    tighter for rare items than the recipe's uniform-width model, which
+    is the realistic shape for knowledge derived from large panels.
+    """
+    if relative_error < 0:
+        raise BeliefError("relative_error must be non-negative")
+    intervals = {}
+    for item, frequency in frequencies.items():
+        low = max(0.0, frequency * (1.0 - relative_error))
+        high = min(1.0, frequency * (1.0 + relative_error))
+        intervals[item] = Interval(low, high)
+    return BeliefFunction(intervals)

@@ -1,0 +1,71 @@
+"""Partial orders on belief functions (Definitions 7 and 9 of the paper).
+
+These orders underpin the two monotonicity results the Assess-Risk recipe
+relies on:
+
+* Definition 7 / Lemma 8 — *refinement*: ``beta1 <= beta2`` when every
+  interval of ``beta1`` is contained in the corresponding interval of
+  ``beta2``; the O-estimate is antitone in this order (sharper knowledge
+  means more expected cracks).
+* Definition 9 / Lemma 10 — *compliancy refinement*: ``beta2 <=_C beta1``
+  when ``beta2`` is compliant on a subset of the items ``beta1`` is
+  compliant on, and is no sharper there; the O-estimate is monotone in
+  this order (fewer correct guesses mean fewer expected cracks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Hashable
+
+from repro.beliefs.function import BeliefFunction
+from repro.errors import DomainMismatchError
+
+__all__ = ["is_refinement", "is_compliancy_refinement"]
+
+Item = Hashable
+
+
+def _require_same_domain(beta1: BeliefFunction, beta2: BeliefFunction) -> None:
+    if beta1.domain != beta2.domain:
+        raise DomainMismatchError("belief functions are over different item domains")
+
+
+def is_refinement(beta1: BeliefFunction, beta2: BeliefFunction) -> bool:
+    """Definition 7: ``beta1 <= beta2`` iff every ``beta1(x) subset beta2(x)``."""
+    _require_same_domain(beta1, beta2)
+    return all(beta2[item].contains_interval(beta1[item]) for item in beta1)
+
+
+def is_compliancy_refinement(
+    beta2: BeliefFunction,
+    beta1: BeliefFunction,
+    true_frequencies: Mapping[Item, float],
+    compliant2: Iterable[Item] | None = None,
+    compliant1: Iterable[Item] | None = None,
+) -> bool:
+    """Definition 9: ``beta2 <=_C beta1``.
+
+    Holds when (i) the compliant set of ``beta2`` is a subset of the
+    compliant set of ``beta1``, and (ii) on that smaller set, ``beta1``'s
+    intervals are contained in ``beta2``'s (the compliant guesses do not
+    shrink).
+
+    Compliant sets default to the sets actually induced by
+    *true_frequencies*; explicit sets can be supplied to model the
+    paper's construction where non-compliance is assigned by fiat.
+    """
+    _require_same_domain(beta1, beta2)
+    set2 = (
+        beta2.compliant_items(true_frequencies)
+        if compliant2 is None
+        else frozenset(compliant2)
+    )
+    set1 = (
+        beta1.compliant_items(true_frequencies)
+        if compliant1 is None
+        else frozenset(compliant1)
+    )
+    if not set2 <= set1:
+        return False
+    return all(beta2[item].contains_interval(beta1[item]) for item in set2)

@@ -1,0 +1,190 @@
+"""Command-line interface: ``repro-assess``.
+
+Runs the Assess-Risk recipe (Figure 8) on a calibrated benchmark or a
+FIMI ``.dat`` file, optionally followed by the Similarity-by-Sampling
+curve (Figure 13).
+
+Examples::
+
+    repro-assess --benchmark retail --tolerance 0.1
+    repro-assess --fimi my_data.dat --tolerance 0.05 --similarity
+    repro-assess --benchmark chess --stats --report risk.md
+    repro-assess --benchmark connect --protect quantile
+    repro-assess --benchmark mushroom --save-assessment decision.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.profile import RiskProfile
+from repro.beliefs.builders import uniform_width_belief
+from repro.data.fimi import read_fimi
+from repro.data.stats import describe
+from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
+from repro.errors import ReproError
+from repro.graph.bipartite import space_from_frequencies
+from repro.io import assessment_to_json, save_json
+from repro.protect.planner import protect_to_tolerance
+from repro.recipe.assess import assess_risk
+from repro.recipe.report import full_report
+from repro.recipe.similarity import similarity_by_sampling
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-assess`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-assess",
+        description="Assess the disclosure risk of releasing anonymized data "
+        "(Lakshmanan, Ng, Ramesh; SIGMOD 2005).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--benchmark",
+        choices=BENCHMARK_NAMES,
+        help="analyze a calibrated Figure 9 benchmark",
+    )
+    source.add_argument("--fimi", metavar="PATH", help="analyze a FIMI .dat file")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="degree of tolerance tau: fraction of items the owner can "
+        "afford to see cracked (default 0.1)",
+    )
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="interval half-width override (default: median frequency gap)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, help="averaging runs for the alpha stage"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--similarity",
+        action="store_true",
+        help="also print the Similarity-by-Sampling curve (Figure 13)",
+    )
+    parser.add_argument(
+        "--sample-fractions",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.3, 0.5, 0.7, 0.9],
+        metavar="P",
+        help="sample sizes for --similarity",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print database statistics before assessing",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a per-item markdown risk profile to PATH",
+    )
+    parser.add_argument(
+        "--protect",
+        choices=["bin", "quantile", "suppress"],
+        default=None,
+        help="when the recipe does not disclose, search the smallest "
+        "intervention of this kind that brings the release within tolerance",
+    )
+    parser.add_argument(
+        "--full-report",
+        metavar="PATH",
+        default=None,
+        help="write the complete markdown disclosure report to PATH",
+    )
+    parser.add_argument(
+        "--save-assessment",
+        metavar="PATH",
+        default=None,
+        help="persist the assessment as JSON to PATH",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    try:
+        if args.benchmark:
+            dataset = load_benchmark(args.benchmark)
+            source = dataset.profile
+            print(f"dataset: calibrated {dataset.name!r} "
+                  f"({len(source.domain)} items, {source.n_transactions} transactions)")
+        else:
+            source = read_fimi(args.fimi)
+            print(f"dataset: {args.fimi} "
+                  f"({len(source.domain)} items, {source.n_transactions} transactions)")
+
+        if args.stats:
+            print(describe(source).to_text())
+            print()
+
+        report = assess_risk(
+            source, args.tolerance, delta=args.delta, runs=args.runs, rng=rng
+        )
+        print(report.summary())
+
+        if args.report is not None:
+            frequencies = source.frequencies()
+            delta = report.delta
+            if delta is None:
+                from repro.data.frequency import FrequencyGroups
+
+                delta = FrequencyGroups(frequencies).median_gap()
+            belief = uniform_width_belief(frequencies, delta)
+            space = space_from_frequencies(belief, frequencies)
+            profile = RiskProfile.from_space(space)
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(profile.to_markdown())
+                handle.write("\n")
+            print(f"risk profile written to {args.report}")
+
+        if args.full_report is not None:
+            document = full_report(source, args.tolerance, rng=rng)
+            with open(args.full_report, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            print(f"full report written to {args.full_report}")
+
+        if args.save_assessment is not None:
+            save_json(assessment_to_json(report), args.save_assessment)
+            print(f"assessment written to {args.save_assessment}")
+
+        if args.protect is not None and not report.disclose:
+            plan = protect_to_tolerance(
+                source, args.tolerance, strategy=args.protect, delta=report.delta
+            )
+            print(f"\nprotection plan: {plan.summary()}")
+
+        if args.similarity:
+            print("\nSimilarity-by-Sampling (Figure 13):")
+            header_delta = "delta'"
+            print(f"{'sample':>8}  {'alpha':>7}  {'std':>7}  {header_delta:>10}")
+            for point in similarity_by_sampling(
+                source, args.sample_fractions, rng=rng
+            ):
+                print(
+                    f"{point.fraction:>7.0%}  {point.alpha_mean:>7.3f}  "
+                    f"{point.alpha_std:>7.3f}  {point.delta_mean:>10.3g}"
+                )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: expected-crack analysis.
+
+* :mod:`repro.core.exact` — closed forms for the two extremes
+  (Lemmas 1–4): ignorant and compliant point-valued belief functions.
+* :mod:`repro.core.chain` — chain interval belief functions
+  (Lemmas 5–6) and the chain O-estimate / Delta error of Section 5.2.
+* :mod:`repro.core.oestimate` — the O-estimate heuristic (Figure 5),
+  optionally combined with degree-1 propagation (Figure 7).
+* :mod:`repro.core.alpha` — alpha-compliant analysis (Section 5.3):
+  random compliant-subset models, alpha curves and ``alpha_max``.
+"""
+
+from repro.core.alpha import (
+    AlphaCurve,
+    alpha_curve,
+    alpha_max,
+    alpha_max_binary_search,
+    o_estimate_alpha,
+)
+from repro.core.chain import (
+    ChainSpec,
+    chain_delta,
+    chain_expected_cracks,
+    chain_from_space,
+    chain_matching_count,
+    chain_o_estimate,
+    chain_percentage_error,
+    space_from_chain,
+)
+from repro.core.exact import (
+    expected_cracks_ignorant,
+    expected_cracks_point_valued,
+    expected_cracks_point_valued_subset,
+)
+from repro.core.oestimate import OEstimateResult, o_estimate, o_estimate_from_frequencies
+
+__all__ = [
+    "expected_cracks_ignorant",
+    "expected_cracks_point_valued",
+    "expected_cracks_point_valued_subset",
+    "ChainSpec",
+    "chain_expected_cracks",
+    "chain_o_estimate",
+    "chain_delta",
+    "chain_percentage_error",
+    "chain_matching_count",
+    "chain_from_space",
+    "space_from_chain",
+    "OEstimateResult",
+    "o_estimate",
+    "o_estimate_from_frequencies",
+    "AlphaCurve",
+    "alpha_curve",
+    "alpha_max",
+    "alpha_max_binary_search",
+    "o_estimate_alpha",
+]

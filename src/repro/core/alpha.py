@@ -1,0 +1,229 @@
+"""alpha-compliant analysis (paper, Sections 5.3 and 6.2).
+
+The recipe evaluates the O-estimate over a *range* of degrees of
+compliancy: for each ``alpha``, a random ``ceil(alpha * n)``-subset of
+items is compliant and only those contribute ``1/O_x``.  Averaging over
+several random runs, the expected estimate as a function of ``alpha`` is
+used to find ``alpha_max`` — the largest degree of compliancy for which
+the expected cracks stay within the owner's tolerance ``tau``.
+
+Each run draws one random permutation of the compliant items and takes
+the first ``ceil(alpha * n)`` of it as the compliant subset.  Along a
+single permutation the subsets are *nested*, which is exactly the
+partial-order requirement of Lemma 10 that makes the paper's binary
+search sound; it also means each run's estimate is a prefix sum, so the
+whole alpha-curve of a run costs ``O(n)``.
+
+Both the paper's binary search (:func:`alpha_max_binary_search`) and the
+exact inversion of the averaged step function (:func:`alpha_max`) are
+provided; they agree to the search tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import RecipeError
+from repro.graph.bipartite import MappingSpace
+
+__all__ = [
+    "AlphaCurve",
+    "o_estimate_alpha",
+    "compliance_prefix_sums",
+    "alpha_curve",
+    "alpha_max",
+    "alpha_max_binary_search",
+]
+
+
+def _compliant_inverse_outdegrees(
+    space: MappingSpace, interest: Iterable | None = None
+) -> np.ndarray:
+    """Per-compliant-item contributions ``1/O_x``.
+
+    With *interest* (Lemmas 2 and 4), items outside the subset contribute
+    0 — they still occupy compliancy "slots" when alpha-subsets are
+    drawn, but their cracks do not count against the owner's budget.
+    """
+    outdegrees = space.outdegrees()
+    compliant = space.compliant_indices()
+    degrees = outdegrees[compliant]
+    if np.any(degrees <= 0):
+        raise RecipeError(
+            "a compliant item has outdegree 0 — the base belief function is inconsistent"
+        )
+    contributions = 1.0 / degrees
+    if interest is not None:
+        wanted = {space.item_index(item) for item in interest}
+        mask = np.array([int(i) in wanted for i in compliant])
+        contributions = contributions * mask
+    return contributions
+
+
+def compliance_prefix_sums(
+    space: MappingSpace,
+    runs: int = 5,
+    rng: np.random.Generator | None = None,
+    interest: Iterable | None = None,
+) -> np.ndarray:
+    """Per-run prefix sums of ``1/O_x`` along random item permutations.
+
+    ``result[r, c]`` is run ``r``'s O-estimate when exactly ``c`` items are
+    compliant.  Row ``r`` is non-decreasing in ``c`` (Lemma 10), and
+    ``result[:, n_compliant]`` equals the fully compliant O-estimate.
+    With *interest*, only the subset's cracks are counted (Lemma 4).
+    """
+    if runs <= 0:
+        raise RecipeError(f"need at least one run, got {runs}")
+    rng = np.random.default_rng() if rng is None else rng
+    inverse = _compliant_inverse_outdegrees(space, interest=interest)
+    prefix = np.zeros((runs, len(inverse) + 1), dtype=np.float64)
+    for r in range(runs):
+        shuffled = rng.permutation(inverse)
+        prefix[r, 1:] = np.cumsum(shuffled)
+    return prefix
+
+
+@dataclass(frozen=True)
+class AlphaCurve:
+    """O-estimates as a function of the degree of compliancy (Figure 11).
+
+    Attributes
+    ----------
+    alphas:
+        The evaluated degrees of compliancy.
+    means, stds:
+        Mean and sample standard deviation of the O-estimate across runs
+        at each alpha (in *expected cracks*, not fraction).
+    n:
+        Domain size (divide by it for Figure 11's fraction axis).
+    """
+
+    alphas: tuple[float, ...]
+    means: tuple[float, ...]
+    stds: tuple[float, ...]
+    n: int
+
+    @property
+    def fractions(self) -> tuple[float, ...]:
+        """Mean expected cracks as fractions of the domain size."""
+        return tuple(m / self.n for m in self.means)
+
+
+def _counts_for_alphas(alphas: Sequence[float], n: int) -> list[int]:
+    counts = []
+    for alpha in alphas:
+        if not 0.0 <= alpha <= 1.0:
+            raise RecipeError(f"alpha must be in [0, 1], got {alpha}")
+        counts.append(math.ceil(alpha * n))
+    return counts
+
+
+def o_estimate_alpha(
+    space: MappingSpace,
+    alpha: float,
+    runs: int = 5,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean O-estimate at a single degree of compliancy (Section 6.2)."""
+    curve = alpha_curve(space, [alpha], runs=runs, rng=rng)
+    return curve.means[0]
+
+
+def alpha_curve(
+    space: MappingSpace,
+    alphas: Sequence[float],
+    runs: int = 5,
+    rng: np.random.Generator | None = None,
+) -> AlphaCurve:
+    """Evaluate the O-estimate across degrees of compliancy (Figure 11).
+
+    The compliant subset at each alpha is a random subset of the items on
+    which the *base* belief is compliant; subsets are nested within each
+    run, satisfying Lemma 10's partial order.
+    """
+    prefix = compliance_prefix_sums(space, runs=runs, rng=rng)
+    counts = _counts_for_alphas(alphas, space.n)
+    n_compliant = prefix.shape[1] - 1
+    means, stds = [], []
+    for count in counts:
+        # The base belief may itself be compliant on fewer than n items;
+        # alpha applies to the domain, capped by the available ones.
+        count = min(count, n_compliant)
+        column = prefix[:, count]
+        means.append(float(column.mean()))
+        stds.append(float(column.std(ddof=1)) if prefix.shape[0] > 1 else 0.0)
+    return AlphaCurve(
+        alphas=tuple(float(a) for a in alphas),
+        means=tuple(means),
+        stds=tuple(stds),
+        n=space.n,
+    )
+
+
+def alpha_max(
+    space: MappingSpace,
+    tolerance: float,
+    runs: int = 5,
+    rng: np.random.Generator | None = None,
+    interest: Iterable | None = None,
+) -> float:
+    """Largest alpha with mean O-estimate within tolerance (exact inversion).
+
+    Computes the averaged step function over all compliant-count values
+    and inverts it directly — equivalent to the limit of the paper's
+    binary search as its tolerance goes to 0.  With *interest*, the
+    tolerance budget is ``tolerance * |interest|`` and only the subset's
+    cracks are counted.
+    """
+    if not 0.0 <= tolerance <= 1.0:
+        raise RecipeError(f"tolerance must be in [0, 1], got {tolerance}")
+    basis = space.n if interest is None else len(set(interest))
+    prefix = compliance_prefix_sums(space, runs=runs, rng=rng, interest=interest)
+    mean_curve = prefix.mean(axis=0)
+    budget = tolerance * basis
+    admissible = np.flatnonzero(mean_curve <= budget + 1e-12)
+    best_count = int(admissible[-1]) if admissible.size else 0
+    return best_count / space.n
+
+
+def alpha_max_binary_search(
+    space: MappingSpace,
+    tolerance: float,
+    runs: int = 5,
+    rng: np.random.Generator | None = None,
+    precision: float = 1e-3,
+) -> float:
+    """The paper's binary search for alpha_max (Figure 8, steps 8–9).
+
+    Kept as a faithful alternative to :func:`alpha_max`; the shared
+    per-run permutations make the evaluated function monotone, so the
+    search converges to the same answer up to *precision*.
+    """
+    if not 0.0 <= tolerance <= 1.0:
+        raise RecipeError(f"tolerance must be in [0, 1], got {tolerance}")
+    prefix = compliance_prefix_sums(space, runs=runs, rng=rng)
+    mean_curve = prefix.mean(axis=0)
+    n = space.n
+    budget = tolerance * n
+
+    def estimate(alpha: float) -> float:
+        count = min(math.ceil(alpha * n), len(mean_curve) - 1)
+        return float(mean_curve[count])
+
+    low, high = 0.0, 1.0
+    if estimate(1.0) <= budget:
+        return 1.0
+    if estimate(0.0) > budget:
+        return 0.0
+    while high - low > precision:
+        mid = (low + high) / 2
+        if estimate(mid) <= budget:
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,85 @@
+"""Exact expected-crack formulas for the two extremes (paper, Section 3).
+
+* Lemma 1 — ignorant belief function: the space of mappings is the
+  complete bipartite graph and ``E[X] = 1`` regardless of ``n``.
+* Lemma 2 — restricted to a subset of interest ``I_1``:
+  ``E[X] = n_1 / n``.
+* Lemma 3 — compliant point-valued belief function: the graph splits
+  into one complete bipartite component per frequency group, so
+  ``E[X] = g`` (the number of distinct observed frequencies).
+* Lemma 4 — point-valued, subset of interest: ``E[X] = sum c_i / n_i``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Hashable
+
+from repro.data.frequency import FrequencyGroups
+from repro.errors import DataError, DomainMismatchError
+
+__all__ = [
+    "expected_cracks_ignorant",
+    "expected_cracks_point_valued",
+    "expected_cracks_point_valued_subset",
+]
+
+Item = Hashable
+
+
+def expected_cracks_ignorant(n: int, n_interest: int | None = None) -> float:
+    """Expected cracks under the ignorant belief function (Lemmas 1–2).
+
+    Parameters
+    ----------
+    n:
+        Domain size ``|I|``.
+    n_interest:
+        Size of the subset of items the owner cares about (``|I_1|``);
+        defaults to the whole domain, giving Lemma 1's ``E[X] = 1``.
+    """
+    if n <= 0:
+        raise DataError(f"domain size must be positive, got {n}")
+    if n_interest is None:
+        return 1.0
+    if not 0 <= n_interest <= n:
+        raise DataError(f"subset size {n_interest} outside [0, {n}]")
+    return n_interest / n
+
+
+def expected_cracks_point_valued(frequencies: Mapping[Item, float] | FrequencyGroups) -> float:
+    """Expected cracks under the compliant point-valued belief (Lemma 3).
+
+    Equals ``g``, the number of distinct observed frequencies: each
+    frequency group is a complete bipartite component contributing exactly
+    one expected crack — items with equal frequency camouflage each other.
+    """
+    groups = frequencies if isinstance(frequencies, FrequencyGroups) else FrequencyGroups(dict(frequencies))
+    return float(len(groups))
+
+
+def expected_cracks_point_valued_subset(
+    frequencies: Mapping[Item, float] | FrequencyGroups,
+    interest: Iterable[Item],
+) -> float:
+    """Expected cracks of the items of interest, point-valued case (Lemma 4).
+
+    ``E[X] = sum over groups of c_i / n_i`` where ``n_i`` is the group size
+    and ``c_i`` the number of interesting items in the group.
+    """
+    groups = frequencies if isinstance(frequencies, FrequencyGroups) else FrequencyGroups(dict(frequencies))
+    interest_set = frozenset(interest)
+    covered = set()
+    expected = 0.0
+    for group in groups.groups:
+        group_set = frozenset(group)
+        wanted = interest_set & group_set
+        covered.update(wanted)
+        if wanted:
+            expected += len(wanted) / len(group_set)
+    missing = interest_set - covered
+    if missing:
+        raise DomainMismatchError(
+            f"{len(missing)} item(s) of interest are not in the grouped domain"
+        )
+    return expected

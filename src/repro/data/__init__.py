@@ -1,0 +1,29 @@
+"""Transaction-database substrate (paper, Section 2.1).
+
+This subpackage provides the data model the rest of the library is built
+on: transaction databases over an item domain, item-frequency computation
+and frequency-group analysis, FIMI ``.dat`` I/O, and transaction sampling
+(used by the Similarity-by-Sampling procedure of Section 7.4).
+"""
+
+from repro.data.database import FrequencyProfile, FrequencySource, TransactionDatabase
+from repro.data.fimi import read_fimi, scan_fimi_profile, write_fimi
+from repro.data.frequency import FrequencyGroups, GapStatistics, frequency_table
+from repro.data.sampling import sample_profile, sample_transactions
+from repro.data.stats import DatabaseStatistics, describe
+
+__all__ = [
+    "TransactionDatabase",
+    "FrequencyProfile",
+    "FrequencySource",
+    "frequency_table",
+    "FrequencyGroups",
+    "GapStatistics",
+    "read_fimi",
+    "write_fimi",
+    "scan_fimi_profile",
+    "sample_transactions",
+    "sample_profile",
+    "DatabaseStatistics",
+    "describe",
+]

@@ -1,0 +1,97 @@
+"""Database statistics — the owner's first look at the data.
+
+Collects the quantities the paper's analysis pivots on (domain size,
+transaction counts, frequency-group structure, gap statistics) together
+with standard workload descriptors (density, transaction lengths) into
+one summary object, used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.database import FrequencySource, TransactionDatabase
+from repro.data.frequency import FrequencyGroups, GapStatistics
+
+__all__ = ["DatabaseStatistics", "describe"]
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """A one-object summary of a transaction database or profile.
+
+    Transaction-length fields are ``None`` for counts-only profiles.
+    Gap statistics are ``None`` when there are fewer than two frequency
+    groups.
+    """
+
+    n_items: int
+    n_transactions: int
+    n_groups: int
+    n_singleton_groups: int
+    density: float
+    min_frequency: float
+    max_frequency: float
+    gap_statistics: GapStatistics | None
+    min_transaction_length: int | None = None
+    mean_transaction_length: float | None = None
+    max_transaction_length: int | None = None
+
+    def to_text(self) -> str:
+        """A terminal-friendly rendering."""
+        lines = [
+            f"items                : {self.n_items}",
+            f"transactions         : {self.n_transactions}",
+            f"density              : {self.density:.4f}",
+            f"frequency range      : [{self.min_frequency:.5f}, {self.max_frequency:.5f}]",
+            f"frequency groups     : {self.n_groups} "
+            f"({self.n_singleton_groups} singletons)",
+        ]
+        if self.gap_statistics is not None:
+            stats = self.gap_statistics
+            lines.append(
+                "group gaps           : "
+                f"mean={stats.mean:.6f} median={stats.median:.6f} "
+                f"min={stats.minimum:.6f} max={stats.maximum:.6f}"
+            )
+        if self.mean_transaction_length is not None:
+            lines.append(
+                "transaction length   : "
+                f"min={self.min_transaction_length} "
+                f"mean={self.mean_transaction_length:.2f} "
+                f"max={self.max_transaction_length}"
+            )
+        return "\n".join(lines)
+
+
+def describe(source: FrequencySource) -> DatabaseStatistics:
+    """Compute :class:`DatabaseStatistics` for a database or profile."""
+    frequencies = source.frequencies()
+    groups = FrequencyGroups(frequencies)
+    gap_statistics = groups.gap_statistics() if len(groups) >= 2 else None
+    n = len(frequencies)
+    total_occurrences = sum(
+        source.item_count(item) for item in source.domain
+    )
+    density = total_occurrences / (n * source.n_transactions)
+
+    min_length = mean_length = max_length = None
+    if isinstance(source, TransactionDatabase):
+        lengths = [len(transaction) for transaction in source]
+        min_length = min(lengths)
+        max_length = max(lengths)
+        mean_length = sum(lengths) / len(lengths)
+
+    return DatabaseStatistics(
+        n_items=n,
+        n_transactions=source.n_transactions,
+        n_groups=len(groups),
+        n_singleton_groups=groups.n_singletons,
+        density=density,
+        min_frequency=min(frequencies.values()),
+        max_frequency=max(frequencies.values()),
+        gap_statistics=gap_statistics,
+        min_transaction_length=min_length,
+        mean_transaction_length=mean_length,
+        max_transaction_length=max_length,
+    )

@@ -1,0 +1,37 @@
+"""Benchmark datasets (paper, Section 7.1, Figure 9).
+
+The paper evaluates on six UCI/FIMI benchmarks: CONNECT, PUMSB,
+ACCIDENTS, RETAIL, MUSHROOM and CHESS.  The raw files are not
+redistributable here, so this subpackage provides *calibrated synthetic
+generators* that reproduce the statistics Figure 9 reports for each
+dataset — domain size, transaction count, number of frequency groups,
+number of singleton groups, and the mean/median/min/max gap between
+successive group frequencies — which are exactly the quantities the
+paper's analyses consume.  Real FIMI files can be substituted via
+:func:`repro.data.read_fimi` at any time.
+"""
+
+from repro.datasets.benchmarks import BENCHMARK_SPECS, BenchmarkSpec, generate_benchmark_profile
+from repro.datasets.quest import QuestParameters, quest_database
+from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark, load_benchmark_database
+from repro.datasets.synthetic import (
+    database_from_profile,
+    profile_from_group_counts,
+    random_database,
+    zipf_profile,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARK_SPECS",
+    "BENCHMARK_NAMES",
+    "generate_benchmark_profile",
+    "load_benchmark",
+    "load_benchmark_database",
+    "profile_from_group_counts",
+    "database_from_profile",
+    "random_database",
+    "zipf_profile",
+    "QuestParameters",
+    "quest_database",
+]

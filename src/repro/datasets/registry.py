@@ -1,0 +1,70 @@
+"""Loading calibrated benchmarks by name, reproducibly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import FrequencyProfile, TransactionDatabase
+from repro.datasets.benchmarks import BENCHMARK_SPECS, BenchmarkSpec, generate_benchmark_profile
+from repro.datasets.synthetic import database_from_profile
+from repro.errors import DataError
+
+__all__ = ["BENCHMARK_NAMES", "CalibratedDataset", "load_benchmark", "load_benchmark_database"]
+
+BENCHMARK_NAMES: tuple[str, ...] = tuple(sorted(BENCHMARK_SPECS))
+
+_DEFAULT_SEED = 20050614  # the paper's presentation date at SIGMOD 2005
+
+
+@dataclass(frozen=True)
+class CalibratedDataset:
+    """A generated benchmark profile together with its target spec."""
+
+    spec: BenchmarkSpec
+    profile: FrequencyProfile
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def _resolve_spec(name: str) -> BenchmarkSpec:
+    try:
+        return BENCHMARK_SPECS[name.lower()]
+    except KeyError:
+        known = ", ".join(BENCHMARK_NAMES)
+        raise DataError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def load_benchmark(name: str, seed: int | None = _DEFAULT_SEED) -> CalibratedDataset:
+    """Generate the calibrated stand-in for a Figure 9 benchmark.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`BENCHMARK_NAMES` (case-insensitive).
+    seed:
+        Generation seed; the default makes repeated loads identical.
+        Pass ``None`` for a fresh random instance.
+    """
+    spec = _resolve_spec(name)
+    rng = np.random.default_rng(seed)
+    return CalibratedDataset(spec=spec, profile=generate_benchmark_profile(spec, rng))
+
+
+def load_benchmark_database(
+    name: str,
+    seed: int | None = _DEFAULT_SEED,
+    max_occurrences: int = 50_000_000,
+) -> TransactionDatabase:
+    """Materialize a benchmark as an actual transaction database.
+
+    Only needed for transaction-level work (mining, transaction
+    sampling); the profile from :func:`load_benchmark` is enough for all
+    frequency-based analyses and is far cheaper.
+    """
+    dataset = load_benchmark(name, seed=seed)
+    rng = np.random.default_rng(None if seed is None else seed + 1)
+    return database_from_profile(dataset.profile, rng=rng, max_occurrences=max_occurrences)

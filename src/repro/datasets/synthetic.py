@@ -1,0 +1,166 @@
+"""Generic synthetic transaction-data generators.
+
+These are the low-level building blocks: the calibrated Figure 9
+generators in :mod:`repro.datasets.benchmarks` compose them, and tests
+use them directly for randomized workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.database import FrequencyProfile, TransactionDatabase
+from repro.errors import DataError
+
+__all__ = [
+    "profile_from_group_counts",
+    "database_from_profile",
+    "random_database",
+    "zipf_profile",
+]
+
+
+def profile_from_group_counts(
+    group_counts: Sequence[int],
+    group_sizes: Sequence[int],
+    n_transactions: int,
+    rng: np.random.Generator | None = None,
+    shuffle_item_ids: bool = True,
+) -> FrequencyProfile:
+    """Build a profile with an exact frequency-group structure.
+
+    Parameters
+    ----------
+    group_counts:
+        Distinct per-group transaction counts (one per frequency group).
+    group_sizes:
+        Number of items in each group, aligned with *group_counts*.
+    n_transactions:
+        Total transactions; every count must be in ``[1, n_transactions]``.
+    rng, shuffle_item_ids:
+        When shuffling, item ids ``1..n`` are assigned to (group, slot)
+        positions in random order, so ids carry no frequency information
+        — like a well-anonymized catalogue.
+    """
+    if len(group_counts) != len(group_sizes):
+        raise DataError("group_counts and group_sizes must align")
+    if len(set(group_counts)) != len(group_counts):
+        raise DataError("group counts must be distinct (they define the groups)")
+    if any(size <= 0 for size in group_sizes):
+        raise DataError("group sizes must be positive")
+    n_items = int(sum(group_sizes))
+    ids = np.arange(1, n_items + 1)
+    if shuffle_item_ids:
+        rng = np.random.default_rng() if rng is None else rng
+        ids = rng.permutation(ids)
+    counts: dict[int, int] = {}
+    position = 0
+    for count, size in zip(group_counts, group_sizes):
+        if not 1 <= count <= n_transactions:
+            raise DataError(f"group count {count} outside [1, {n_transactions}]")
+        for _ in range(size):
+            counts[int(ids[position])] = int(count)
+            position += 1
+    return FrequencyProfile(counts, n_transactions)
+
+
+def database_from_profile(
+    profile: FrequencyProfile,
+    rng: np.random.Generator | None = None,
+    max_occurrences: int = 50_000_000,
+) -> TransactionDatabase:
+    """Materialize transactions realizing *profile*'s counts exactly.
+
+    Each item's occurrences are placed into distinct uniformly random
+    transactions.  Transactions that end up empty are then repaired by
+    moving one occurrence of some item from a transaction holding at
+    least two items — a move that preserves every item count.  Raises
+    :class:`~repro.errors.DataError` when repair is impossible (fewer
+    total occurrences than transactions).
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    m = profile.n_transactions
+    total = sum(profile.counts.values())
+    if total > max_occurrences:
+        raise DataError(
+            f"profile would materialize {total} item occurrences "
+            f"(> {max_occurrences}); work with the FrequencyProfile instead"
+        )
+    if total < m:
+        raise DataError(
+            f"{total} item occurrences cannot fill {m} non-empty transactions"
+        )
+    transactions: list[set] = [set() for _ in range(m)]
+    for item, count in profile.counts.items():
+        if count == 0:
+            continue
+        for index in rng.choice(m, size=count, replace=False):
+            transactions[int(index)].add(item)
+
+    empties = [t for t in range(m) if not transactions[t]]
+    if empties:
+        # Donors only ever lose items, so a single forward pointer that
+        # re-checks its current position suffices.
+        donor_index = 0
+        for empty_index in empties:
+            while donor_index < m and len(transactions[donor_index]) < 2:
+                donor_index += 1
+            if donor_index == m:
+                raise DataError("cannot repair empty transactions without changing counts")
+            moved = next(iter(transactions[donor_index]))
+            transactions[donor_index].discard(moved)
+            transactions[empty_index].add(moved)
+    return TransactionDatabase(transactions, domain=profile.domain)
+
+
+def random_database(
+    n_items: int,
+    n_transactions: int,
+    density: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> TransactionDatabase:
+    """A Bernoulli(``density``) random database over items ``1..n_items``.
+
+    Transactions that come out empty get one uniformly random item, so
+    the model invariant (non-empty transactions) always holds.
+    """
+    if n_items <= 0 or n_transactions <= 0:
+        raise DataError("n_items and n_transactions must be positive")
+    if not 0.0 < density <= 1.0:
+        raise DataError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng() if rng is None else rng
+    membership = rng.random((n_transactions, n_items)) < density
+    transactions = []
+    for row in membership:
+        items = set(int(i) + 1 for i in np.flatnonzero(row))
+        if not items:
+            items = {int(rng.integers(n_items)) + 1}
+        transactions.append(items)
+    return TransactionDatabase(transactions, domain=range(1, n_items + 1))
+
+
+def zipf_profile(
+    n_items: int,
+    n_transactions: int,
+    exponent: float = 1.1,
+    max_frequency: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> FrequencyProfile:
+    """A Zipf-like frequency profile (retail-style long tail).
+
+    Item ranked ``r`` gets frequency ``max_frequency / r^exponent``
+    (count at least 1).  Useful as a quick realistic workload when no
+    calibrated benchmark fits.
+    """
+    if n_items <= 0 or n_transactions <= 0:
+        raise DataError("n_items and n_transactions must be positive")
+    rng = np.random.default_rng() if rng is None else rng
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    freqs = max_frequency / ranks**exponent
+    counts = np.maximum(1, np.round(freqs * n_transactions)).astype(np.int64)
+    ids = rng.permutation(np.arange(1, n_items + 1))
+    return FrequencyProfile(
+        {int(item): int(count) for item, count in zip(ids, counts)}, n_transactions
+    )

@@ -1,0 +1,76 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the specific failure mode when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "EmptyDatabaseError",
+    "InvalidTransactionError",
+    "FormatError",
+    "BeliefError",
+    "InvalidIntervalError",
+    "DomainMismatchError",
+    "GraphError",
+    "InfeasibleMatchingError",
+    "NotAChainError",
+    "SimulationError",
+    "RecipeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataError(ReproError):
+    """A problem with a transaction database or its contents."""
+
+
+class EmptyDatabaseError(DataError):
+    """An operation that requires transactions was given an empty database."""
+
+
+class InvalidTransactionError(DataError):
+    """A transaction violates the model (empty, or items outside the domain)."""
+
+
+class FormatError(DataError):
+    """A serialized dataset (e.g. a FIMI ``.dat`` file) could not be parsed."""
+
+
+class BeliefError(ReproError):
+    """A problem with a belief function."""
+
+
+class InvalidIntervalError(BeliefError):
+    """A belief interval violates ``0 <= low <= high <= 1``."""
+
+
+class DomainMismatchError(BeliefError):
+    """Two objects that must share an item domain do not."""
+
+
+class GraphError(ReproError):
+    """A problem with a consistent-mapping bipartite graph."""
+
+
+class InfeasibleMatchingError(GraphError):
+    """The bipartite graph admits no consistent perfect matching."""
+
+
+class NotAChainError(GraphError):
+    """A belief function expected to form a chain (paper, Section 4.2) does not."""
+
+
+class SimulationError(ReproError):
+    """The matching-swap simulator could not produce valid samples."""
+
+
+class RecipeError(ReproError):
+    """The Assess-Risk recipe was invoked with invalid inputs."""

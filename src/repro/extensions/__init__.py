@@ -1,0 +1,54 @@
+"""Extensions beyond frequent sets (paper, Section 8).
+
+* :mod:`repro.extensions.relational` — Section 8.1: building consistent-
+  mapping graphs from partial knowledge about a released anonymized
+  *relation* (the age/ethnicity/car-model example), after which every
+  analysis of the library applies unchanged.
+* :mod:`repro.extensions.itemsets` — Section 8.2's ongoing-work
+  direction: identities of *sets* of items.  Even when no single item can
+  be cracked, a set of items can be indisputably identified with a set of
+  anonymized items (Figure 6(b)); this module finds all such forced
+  itemset identifications via matching theory.
+* :mod:`repro.extensions.linkage` — the consortium hazard of Section 1:
+  linking two independently anonymized releases of the same domain by
+  statistically compatible frequencies.
+* :mod:`repro.extensions.powerset` — the other half of Section 8.2:
+  belief functions over the powerset.  Pairwise co-occurrence beliefs
+  prune the consistent-mapping graph by arc consistency, sharpening
+  every downstream estimate.
+"""
+
+from repro.extensions.itemsets import (
+    IdentifiedBlock,
+    itemset_identifications,
+    surely_cracked_items,
+)
+from repro.extensions.linkage import build_linkage_space, linkage_risk, split_release
+from repro.extensions.powerset import PairBelief, refine_with_pair_beliefs
+from repro.extensions.relational import (
+    AttributeKnowledge,
+    Between,
+    Exactly,
+    OneOf,
+    Relation,
+    Unknown,
+    build_relational_space,
+)
+
+__all__ = [
+    "Relation",
+    "AttributeKnowledge",
+    "Exactly",
+    "OneOf",
+    "Between",
+    "Unknown",
+    "build_relational_space",
+    "IdentifiedBlock",
+    "itemset_identifications",
+    "surely_cracked_items",
+    "PairBelief",
+    "refine_with_pair_beliefs",
+    "build_linkage_space",
+    "linkage_risk",
+    "split_release",
+]

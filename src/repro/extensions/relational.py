@@ -1,0 +1,204 @@
+"""Crack analysis for anonymized relations (paper, Section 8.1).
+
+The paper's example: a relation with attributes age, ethnicity and
+car-model is released with names replaced by integers.  A hacker who
+"somehow knows that John is Chinese owning a Toyota" can connect John to
+every anonymized row matching those facts; a hacker knowing nothing about
+Bob connects Bob to every row.  Once the bipartite graph is set up this
+way, all of the library's lemmas and estimates apply unchanged — that is
+the paper's point, and this module is the setup step.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import DataError, DomainMismatchError
+from repro.graph.bipartite import ExplicitMappingSpace
+
+__all__ = [
+    "Predicate",
+    "Exactly",
+    "OneOf",
+    "Between",
+    "Unknown",
+    "Relation",
+    "AttributeKnowledge",
+    "build_relational_space",
+]
+
+
+class Predicate(abc.ABC):
+    """A hacker's partial fact about one attribute of one individual."""
+
+    @abc.abstractmethod
+    def matches(self, value: object) -> bool:
+        """Whether an observed attribute value is consistent with the fact."""
+
+
+@dataclass(frozen=True)
+class Exactly(Predicate):
+    """The hacker knows the exact value ("John is Chinese")."""
+
+    value: object
+
+    def matches(self, value: object) -> bool:
+        return value == self.value
+
+
+@dataclass(frozen=True)
+class OneOf(Predicate):
+    """The hacker knows the value is among a few possibilities."""
+
+    values: frozenset
+
+    def __init__(self, values):
+        object.__setattr__(self, "values", frozenset(values))
+
+    def matches(self, value: object) -> bool:
+        return value in self.values
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """The hacker knows a numeric range ("Mary's age is between 30 and 35")."""
+
+    low: float
+    high: float
+
+    def matches(self, value: object) -> bool:
+        try:
+            return self.low <= value <= self.high  # type: ignore[operator]
+        except TypeError:
+            return False
+
+
+class Unknown(Predicate):
+    """No knowledge — consistent with everything ("Bob")."""
+
+    def matches(self, value: object) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Unknown()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Unknown)
+
+    def __hash__(self) -> int:
+        return hash("Unknown")
+
+
+class Relation:
+    """A tiny relational substrate: identified rows over named attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, e.g. ``("age", "ethnicity", "car_model")``.
+    rows:
+        Mapping of individual identity -> attribute-value tuple (aligned
+        with *attributes*).  One row per individual.
+    """
+
+    def __init__(self, attributes: Sequence[str], rows: Mapping[Hashable, Sequence]):
+        if not attributes:
+            raise DataError("a relation needs at least one attribute")
+        if not rows:
+            raise DataError("a relation needs at least one row")
+        self.attributes = tuple(attributes)
+        normalized: dict = {}
+        for identity, values in rows.items():
+            values = tuple(values)
+            if len(values) != len(self.attributes):
+                raise DataError(
+                    f"row for {identity!r} has {len(values)} values, "
+                    f"expected {len(self.attributes)}"
+                )
+            normalized[identity] = values
+        self.rows = normalized
+
+    @property
+    def individuals(self) -> tuple:
+        """The identities, in a stable order."""
+        return tuple(sorted(self.rows, key=repr))
+
+    def value(self, identity: Hashable, attribute: str) -> object:
+        """One attribute value of one individual."""
+        try:
+            column = self.attributes.index(attribute)
+        except ValueError:
+            raise DataError(f"unknown attribute {attribute!r}") from None
+        return self.rows[identity][column]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class AttributeKnowledge:
+    """The hacker's facts: individual -> attribute -> predicate.
+
+    Unspecified attributes (or unlisted individuals) default to
+    :class:`Unknown`.
+    """
+
+    def __init__(self, facts: Mapping[Hashable, Mapping[str, Predicate]] | None = None):
+        self._facts: dict = {}
+        for identity, by_attribute in (facts or {}).items():
+            self._facts[identity] = dict(by_attribute)
+
+    def predicate(self, identity: Hashable, attribute: str) -> Predicate:
+        """The fact about one attribute of one individual."""
+        return self._facts.get(identity, {}).get(attribute, Unknown())
+
+    def consistent_with_row(
+        self, identity: Hashable, attributes: Sequence[str], values: Sequence
+    ) -> bool:
+        """Whether a released row could be this individual's."""
+        return all(
+            self.predicate(identity, attribute).matches(value)
+            for attribute, value in zip(attributes, values)
+        )
+
+
+def build_relational_space(
+    relation: Relation, knowledge: AttributeKnowledge
+) -> ExplicitMappingSpace:
+    """Build the consistent-mapping space of an anonymized relation.
+
+    The released view is the relation with identities replaced by row
+    labels ``1..n`` (in the stable individual order, which is the secret
+    pairing); the edge (row, individual) is present when the row's
+    attribute values satisfy every fact the hacker holds about the
+    individual.  The returned space plugs directly into
+    :func:`repro.core.o_estimate`, the simulator, propagation and the
+    itemset-identification extension.
+    """
+    individuals = relation.individuals
+    n = len(individuals)
+    adjacency: list[list[int]] = []
+    for identity in individuals:
+        row_edges = [
+            j
+            for j, row_identity in enumerate(individuals)
+            if knowledge.consistent_with_row(
+                identity, relation.attributes, relation.rows[row_identity]
+            )
+        ]
+        adjacency.append(row_edges)
+    if any(not edges for edges in adjacency):
+        empty = [
+            repr(individuals[i]) for i, edges in enumerate(adjacency) if not edges
+        ]
+        raise DomainMismatchError(
+            f"knowledge is inconsistent with every released row for: {', '.join(empty)}"
+        )
+    return ExplicitMappingSpace(
+        items=individuals,
+        anonymized=tuple(range(1, n + 1)),
+        adjacency=adjacency,
+        true_partner_of=list(range(n)),
+    )

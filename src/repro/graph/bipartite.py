@@ -1,0 +1,335 @@
+"""Mapping spaces — the bipartite graph of consistent crack mappings.
+
+A :class:`MappingSpace` represents the graph ``G = (J + I, E)`` of
+Section 2.3: nodes are the anonymized items ``J`` and original items
+``I``; the edge ``(x', y)`` is present when the hacker's belief about
+``y`` admits the observed frequency of ``x'``.  Perfect matchings of
+``G`` are exactly the consistent crack mappings.
+
+Two implementations:
+
+* :class:`FrequencyMappingSpace` — derives edges from belief intervals
+  and observed frequencies on the fly, using the frequency-group
+  structure; scales to tens of thousands of items.
+* :class:`ExplicitMappingSpace` — an arbitrary adjacency structure, for
+  the paper's Section 8.1 generalization (partial knowledge that is not
+  frequency-based) and for adversarially-shaped test graphs like the
+  staircase of Figure 6(a).
+
+Both know the ground-truth pairing (the owner's secret anonymization
+mapping), which analyses use to decide compliancy and to count cracks.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Hashable
+
+import numpy as np
+
+from repro.anonymize.database import AnonymizedDatabase
+from repro.anonymize.mapping import AnonymizedItem
+from repro.beliefs.function import BeliefFunction
+from repro.errors import DomainMismatchError, GraphError
+from repro.graph.groups import BeliefGroupPartition, ObservedGroups
+
+__all__ = [
+    "MappingSpace",
+    "FrequencyMappingSpace",
+    "ExplicitMappingSpace",
+    "space_from_frequencies",
+    "space_from_anonymized",
+]
+
+Item = Hashable
+
+
+class MappingSpace(abc.ABC):
+    """Abstract bipartite space of consistent crack mappings.
+
+    Indices: original items are ``0..n-1`` in the order of :attr:`items`;
+    anonymized items are ``0..n-1`` in the order of :attr:`anonymized`.
+    """
+
+    items: tuple
+    anonymized: tuple
+
+    @property
+    def n(self) -> int:
+        """Domain size ``|I| = |J|``."""
+        return len(self.items)
+
+    @abc.abstractmethod
+    def is_edge(self, item_index: int, anon_index: int) -> bool:
+        """True when the anonymized item may map to the original item."""
+
+    @abc.abstractmethod
+    def candidates(self, item_index: int) -> Iterator[int]:
+        """Anonymized-item indices that may map to the item (its edge set)."""
+
+    @abc.abstractmethod
+    def outdegree(self, item_index: int) -> int:
+        """``O_x`` — the number of anonymized items that may map to the item."""
+
+    @abc.abstractmethod
+    def true_partner(self, item_index: int) -> int:
+        """Index of the anonymized item that truly corresponds to the item."""
+
+    # -- derived helpers ----------------------------------------------------
+
+    def outdegrees(self) -> np.ndarray:
+        """All outdegrees as an array aligned with :attr:`items`."""
+        return np.array([self.outdegree(i) for i in range(self.n)], dtype=np.int64)
+
+    def has_true_edge(self, item_index: int) -> bool:
+        """Whether the belief is *compliant* on this item.
+
+        Compliancy on ``x`` is exactly the presence of the edge
+        ``(x', x)`` in the graph (Section 2.3).
+        """
+        return self.is_edge(item_index, self.true_partner(item_index))
+
+    def compliant_indices(self) -> np.ndarray:
+        """Indices of items on which the belief is compliant."""
+        return np.array(
+            [i for i in range(self.n) if self.has_true_edge(i)], dtype=np.int64
+        )
+
+    def item_index(self, item: Item) -> int:
+        """Index of an original item."""
+        index_map = getattr(self, "_item_index", None)
+        if index_map is None:
+            index_map = {x: i for i, x in enumerate(self.items)}
+            self._item_index = index_map
+        try:
+            return index_map[item]
+        except KeyError:
+            raise GraphError(f"item {item!r} not in the mapping space") from None
+
+    def edge_count(self) -> int:
+        """Total number of edges ``|E|``."""
+        return int(self.outdegrees().sum())
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense 0/1 matrix ``A[j, i]`` = edge (anonymized j -> item i).
+
+        Only sensible for small spaces (used by the permanent-based direct
+        method of Section 4.1).
+        """
+        matrix = np.zeros((self.n, self.n), dtype=np.float64)
+        for i in range(self.n):
+            for j in self.candidates(i):
+                matrix[j, i] = 1.0
+        return matrix
+
+    def count_cracks(self, assignment: Sequence[int]) -> int:
+        """Cracks in an item->anonymized assignment (index-based)."""
+        return sum(
+            1 for i, j in enumerate(assignment) if j == self.true_partner(i)
+        )
+
+
+class FrequencyMappingSpace(MappingSpace):
+    """Mapping space induced by a belief function over item frequencies.
+
+    Parameters
+    ----------
+    items:
+        The original items, in a fixed order.
+    anonymized:
+        The anonymized items, in a fixed order.
+    observed:
+        Observed frequency of each anonymized item (aligned with
+        *anonymized*).
+    intervals:
+        Per-item ``(low, high)`` belief intervals (aligned with *items*).
+    true_partner_of:
+        ``true_partner_of[i]`` is the anonymized index corresponding to
+        item ``i`` under the owner's secret mapping.
+    """
+
+    def __init__(
+        self,
+        items: Sequence,
+        anonymized: Sequence,
+        observed: Sequence[float],
+        intervals: Sequence[tuple[float, float]],
+        true_partner_of: Sequence[int],
+    ):
+        if not (len(items) == len(anonymized) == len(observed) == len(intervals) == len(true_partner_of)):
+            raise GraphError("items, anonymized, observed, intervals and pairing must align")
+        if len(items) == 0:
+            raise GraphError("a mapping space needs a non-empty domain")
+        self.items = tuple(items)
+        self.anonymized = tuple(anonymized)
+        self.observed = np.asarray(observed, dtype=np.float64)
+        self.low = np.array([iv[0] for iv in intervals], dtype=np.float64)
+        self.high = np.array([iv[1] for iv in intervals], dtype=np.float64)
+        self._true_partner = np.asarray(true_partner_of, dtype=np.int64)
+        if sorted(self._true_partner.tolist()) != list(range(len(items))):
+            raise GraphError("true pairing must be a permutation of the anonymized indices")
+        self.groups = ObservedGroups(self.observed)
+        # Admissible frequency-group run per item.
+        self._runs: list[tuple[int, int]] = [
+            self.groups.group_range(float(lo), float(hi))
+            for lo, hi in zip(self.low, self.high)
+        ]
+
+    # -- MappingSpace interface ---------------------------------------------
+
+    def is_edge(self, item_index: int, anon_index: int) -> bool:
+        f = self.observed[anon_index]
+        return bool(self.low[item_index] <= f <= self.high[item_index])
+
+    def candidates(self, item_index: int) -> Iterator[int]:
+        g_lo, g_hi = self._runs[item_index]
+        for g in range(g_lo, g_hi):
+            yield from self.groups.members[g]
+
+    def outdegree(self, item_index: int) -> int:
+        g_lo, g_hi = self._runs[item_index]
+        return int(self.groups.prefix[g_hi] - self.groups.prefix[g_lo])
+
+    def true_partner(self, item_index: int) -> int:
+        return int(self._true_partner[item_index])
+
+    # -- fast paths -----------------------------------------------------------
+
+    def outdegrees(self) -> np.ndarray:
+        g_lo = np.array([r[0] for r in self._runs], dtype=np.int64)
+        g_hi = np.array([r[1] for r in self._runs], dtype=np.int64)
+        return self.groups.prefix[g_hi] - self.groups.prefix[g_lo]
+
+    def compliant_mask(self) -> np.ndarray:
+        """Boolean mask of compliant items (vectorized)."""
+        true_freq = self.observed[self._true_partner]
+        return (self.low <= true_freq) & (true_freq <= self.high)
+
+    def compliant_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.compliant_mask())
+
+    def admissible_run(self, item_index: int) -> tuple[int, int]:
+        """The item's admissible frequency-group run ``[g_lo, g_hi)``."""
+        return self._runs[item_index]
+
+    def belief_groups(self) -> BeliefGroupPartition:
+        """Partition of items into belief groups (Section 3.2)."""
+        return BeliefGroupPartition(self._runs)
+
+    def true_group(self, item_index: int) -> int:
+        """Frequency-group index of the item's true anonymized partner."""
+        return int(self.groups.group_of[self.true_partner(item_index)])
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencyMappingSpace(n={self.n}, "
+            f"n_frequency_groups={len(self.groups)})"
+        )
+
+
+class ExplicitMappingSpace(MappingSpace):
+    """Mapping space given by an arbitrary adjacency structure.
+
+    Parameters
+    ----------
+    items, anonymized:
+        The two node sets, in fixed order, of equal size.
+    adjacency:
+        ``adjacency[i]`` is the collection of anonymized indices that may
+        map to item ``i``.
+    true_partner_of:
+        Permutation giving the ground-truth pairing.
+    """
+
+    def __init__(
+        self,
+        items: Sequence,
+        anonymized: Sequence,
+        adjacency: Sequence[Iterable[int]],
+        true_partner_of: Sequence[int],
+    ):
+        if not (len(items) == len(anonymized) == len(adjacency) == len(true_partner_of)):
+            raise GraphError("items, anonymized, adjacency and pairing must align")
+        if len(items) == 0:
+            raise GraphError("a mapping space needs a non-empty domain")
+        self.items = tuple(items)
+        self.anonymized = tuple(anonymized)
+        n = len(items)
+        self._adjacency: tuple[frozenset, ...] = tuple(
+            frozenset(int(j) for j in row) for row in adjacency
+        )
+        for i, row in enumerate(self._adjacency):
+            if any(not 0 <= j < n for j in row):
+                raise GraphError(f"adjacency of item #{i} references an invalid index")
+        self._true_partner = np.asarray(true_partner_of, dtype=np.int64)
+        if sorted(self._true_partner.tolist()) != list(range(n)):
+            raise GraphError("true pairing must be a permutation of the anonymized indices")
+
+    def is_edge(self, item_index: int, anon_index: int) -> bool:
+        return anon_index in self._adjacency[item_index]
+
+    def candidates(self, item_index: int) -> Iterator[int]:
+        return iter(sorted(self._adjacency[item_index]))
+
+    def outdegree(self, item_index: int) -> int:
+        return len(self._adjacency[item_index])
+
+    def true_partner(self, item_index: int) -> int:
+        return int(self._true_partner[item_index])
+
+    def __repr__(self) -> str:
+        return f"ExplicitMappingSpace(n={self.n}, n_edges={self.edge_count()})"
+
+
+def space_from_frequencies(
+    belief: BeliefFunction, true_frequencies: Mapping[Item, float]
+) -> FrequencyMappingSpace:
+    """Build the mapping space from a belief function and true frequencies.
+
+    This is the owner-side construction: the owner knows the true
+    frequency of every item, and the released anonymized database exposes
+    exactly that multiset of frequencies.  Item ``x`` at index ``i`` is
+    paired with the canonical anonymized item ``i'`` whose observed
+    frequency is ``true_frequencies[x]``.
+    """
+    if belief.domain != frozenset(true_frequencies):
+        raise DomainMismatchError("belief function and frequency table cover different domains")
+    items = sorted(true_frequencies, key=repr)
+    observed = [float(true_frequencies[x]) for x in items]
+    anonymized = tuple(AnonymizedItem(i + 1) for i in range(len(items)))
+    intervals = [(belief[x].low, belief[x].high) for x in items]
+    return FrequencyMappingSpace(
+        items=items,
+        anonymized=anonymized,
+        observed=observed,
+        intervals=intervals,
+        true_partner_of=list(range(len(items))),
+    )
+
+
+def space_from_anonymized(
+    belief: BeliefFunction, anonymized_db: AnonymizedDatabase
+) -> FrequencyMappingSpace:
+    """Build the mapping space from an actually anonymized database.
+
+    The observed frequencies come from the released database; the secret
+    mapping provides the ground-truth pairing used to score cracks.
+    """
+    mapping = anonymized_db.mapping
+    if belief.domain != mapping.original_domain:
+        raise DomainMismatchError("belief function does not cover the anonymized domain")
+    items = sorted(mapping.original_domain, key=repr)
+    anonymized = sorted(mapping.anonymized_domain)
+    anon_index = {a: j for j, a in enumerate(anonymized)}
+    observed_map = anonymized_db.observed_frequencies()
+    observed = [float(observed_map[a]) for a in anonymized]
+    intervals = [(belief[x].low, belief[x].high) for x in items]
+    pairing = [anon_index[mapping.anonymize_item(x)] for x in items]
+    return FrequencyMappingSpace(
+        items=items,
+        anonymized=tuple(anonymized),
+        observed=observed,
+        intervals=intervals,
+        true_partner_of=pairing,
+    )

@@ -1,0 +1,140 @@
+"""Group structures over the two sides of the mapping space.
+
+The paper analyzes crack mappings through two partitions (Section 3.2,
+Figure 3(b)):
+
+* **frequency groups** — anonymized items grouped by observed frequency
+  (:class:`ObservedGroups`); and
+* **belief groups** — original items grouped by *which set of frequency
+  groups* their belief interval admits (:class:`BeliefGroupPartition`).
+
+Because a belief interval is an interval, the admissible frequency groups
+of an item always form a *contiguous run* ``[g_lo, g_hi)`` of the sorted
+group frequencies — the key fact behind the ``O(n log n)`` O-estimate
+(Figure 5) and the chain analysis (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ObservedGroups", "BeliefGroupPartition", "BeliefGroup"]
+
+
+class ObservedGroups:
+    """Anonymized items grouped by observed frequency.
+
+    Parameters
+    ----------
+    observed:
+        Sequence of observed frequencies, indexed by anonymized-item index.
+    """
+
+    __slots__ = ("freqs", "counts", "prefix", "members", "group_of")
+
+    def __init__(self, observed: Sequence[float]):
+        by_freq: dict[float, list[int]] = defaultdict(list)
+        for j, f in enumerate(observed):
+            by_freq[float(f)].append(j)
+        self.freqs: tuple[float, ...] = tuple(sorted(by_freq))
+        self.members: tuple[tuple[int, ...], ...] = tuple(
+            tuple(by_freq[f]) for f in self.freqs
+        )
+        self.counts: np.ndarray = np.array([len(m) for m in self.members], dtype=np.int64)
+        # prefix[g] = number of anonymized items in groups 0..g-1
+        self.prefix: np.ndarray = np.concatenate(([0], np.cumsum(self.counts)))
+        self.group_of: np.ndarray = np.empty(len(observed), dtype=np.int64)
+        for g, member_list in enumerate(self.members):
+            for j in member_list:
+                self.group_of[j] = g
+
+    def __len__(self) -> int:
+        """Number of distinct frequency groups ``k``."""
+        return len(self.freqs)
+
+    def group_range(self, low: float, high: float) -> tuple[int, int]:
+        """Indices ``[g_lo, g_hi)`` of the groups with frequency in ``[low, high]``."""
+        g_lo = bisect_left(self.freqs, low)
+        g_hi = bisect_right(self.freqs, high)
+        return g_lo, g_hi
+
+    def count_in_range(self, low: float, high: float) -> int:
+        """Number of anonymized items with observed frequency in ``[low, high]``.
+
+        This is the outdegree ``O_x`` of an item whose belief interval is
+        ``[low, high]`` — computed with two binary searches and a prefix
+        sum, as the efficient implementation of Figure 5 requires.
+        """
+        g_lo, g_hi = self.group_range(low, high)
+        return int(self.prefix[g_hi] - self.prefix[g_lo])
+
+    def group_index_of_frequency(self, frequency: float) -> int | None:
+        """Group index whose frequency equals *frequency* exactly, else ``None``."""
+        g = bisect_left(self.freqs, frequency)
+        if g < len(self.freqs) and self.freqs[g] == frequency:
+            return g
+        return None
+
+
+@dataclass(frozen=True)
+class BeliefGroup:
+    """A maximal set of items admitting the same run of frequency groups."""
+
+    group_range: tuple[int, int]
+    items: tuple[int, ...]
+
+    @property
+    def n_admissible_groups(self) -> int:
+        return self.group_range[1] - self.group_range[0]
+
+
+class BeliefGroupPartition:
+    """Original items partitioned by admissible frequency-group run.
+
+    Two items belong to the same belief group exactly when the same set of
+    anonymized items can map to them (paper, Section 3.2).  With interval
+    beliefs that set is determined by the run ``[g_lo, g_hi)``.
+
+    Parameters
+    ----------
+    runs:
+        Per-item ``(g_lo, g_hi)`` admissible runs, indexed by item index.
+    """
+
+    __slots__ = ("groups",)
+
+    def __init__(self, runs: Sequence[tuple[int, int]]):
+        by_run: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for i, run in enumerate(runs):
+            by_run[run].append(i)
+        ordered = sorted(by_run.items())
+        self.groups: tuple[BeliefGroup, ...] = tuple(
+            BeliefGroup(group_range=run, items=tuple(items)) for run, items in ordered
+        )
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def is_chain(self, n_frequency_groups: int) -> bool:
+        """True when the partition forms a *chain* (paper, Section 4.2).
+
+        A chain requires every belief group to admit either exactly one
+        frequency group or two *successive* frequency groups, with every
+        frequency group reachable.
+        """
+        covered = set()
+        for group in self.groups:
+            g_lo, g_hi = group.group_range
+            width = g_hi - g_lo
+            if width not in (1, 2):
+                return False
+            covered.update(range(g_lo, g_hi))
+        return covered == set(range(n_frequency_groups))

@@ -1,0 +1,200 @@
+"""Exact crack analysis via permanents and matching enumeration.
+
+Section 4.1 of the paper gives the *direct method*: the number of
+consistent crack mappings is the permanent of the bipartite adjacency
+matrix, and the exact expected number of cracks follows from ratios of
+permanents.  Computing the permanent is #P-complete (Valiant 1979), so
+this machinery is only feasible for small domains — which is exactly how
+the library uses it: as ground truth to validate the O-estimate and the
+simulator in tests and ablations.
+
+* :func:`permanent` — Ryser's inclusion–exclusion formula with Gray-code
+  updates, ``O(2^n n)``.
+* :func:`expected_cracks_direct` — exact ``E[X]`` as a sum of permanent
+  ratios (one minor per item).
+* :func:`crack_distribution` — the full law ``P(X = k)`` by enumerating
+  every consistent perfect matching (tiny domains only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphError, InfeasibleMatchingError
+from repro.graph.bipartite import MappingSpace
+
+__all__ = [
+    "permanent",
+    "count_matchings",
+    "expected_cracks_direct",
+    "crack_distribution",
+    "crack_distribution_permanent",
+    "enumerate_consistent_matchings",
+]
+
+_PERMANENT_LIMIT = 22
+_ENUMERATION_LIMIT = 12
+
+
+def permanent(matrix: np.ndarray) -> float:
+    """The permanent of a square matrix, by Ryser's formula.
+
+    Uses Gray-code subset iteration so each of the ``2^n - 1`` subsets
+    costs ``O(n)``.  Guarded at ``n <= 22`` — beyond that the direct
+    method is infeasible, which is the paper's point.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"permanent needs a square matrix, got shape {matrix.shape}")
+    n = matrix.shape[0]
+    if n == 0:
+        return 1.0
+    if n > _PERMANENT_LIMIT:
+        raise GraphError(
+            f"permanent of a {n}x{n} matrix is infeasible (limit {_PERMANENT_LIMIT}); "
+            "use the O-estimate or the simulator instead"
+        )
+    # Ryser: perm(A) = (-1)^n * sum over non-empty column subsets S of
+    # (-1)^|S| * prod_i sum_{j in S} a[i, j].  Gray-code iteration keeps a
+    # running row-sum vector so each subset costs O(n).
+    row_sums = np.zeros(n, dtype=np.float64)
+    total = 0.0
+    subset = 0
+    subset_size = 0
+    for counter in range(1, 1 << n):
+        flip = (counter & -counter).bit_length() - 1  # lowest set bit of counter
+        bit = 1 << flip
+        if subset & bit:
+            row_sums -= matrix[:, flip]
+            subset_size -= 1
+        else:
+            row_sums += matrix[:, flip]
+            subset_size += 1
+        subset ^= bit
+        subset_sign = -1.0 if subset_size % 2 else 1.0
+        total += subset_sign * float(np.prod(row_sums))
+    overall_sign = 1.0 if n % 2 == 0 else -1.0
+    return overall_sign * total
+
+
+def count_matchings(space: MappingSpace) -> float:
+    """Number of consistent crack mappings = permanent of the adjacency."""
+    return permanent(space.adjacency_matrix())
+
+
+def expected_cracks_direct(space: MappingSpace) -> float:
+    """Exact expected number of cracks by the direct method (Section 4.1).
+
+    ``P(item x is cracked)`` equals the fraction of perfect matchings
+    containing the true edge ``(x', x)``, i.e. the permanent of the minor
+    with row ``x'`` and column ``x`` removed over the full permanent; the
+    expectation is the sum of these probabilities (linearity, Section 5.1).
+    """
+    matrix = space.adjacency_matrix()
+    total = permanent(matrix)
+    if total == 0:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+    expected = 0.0
+    for i in range(space.n):
+        j = space.true_partner(i)
+        if matrix[j, i] == 0.0:
+            continue  # non-compliant item: never cracked by a consistent mapping
+        minor = np.delete(np.delete(matrix, j, axis=0), i, axis=1)
+        expected += permanent(minor) / total
+    return expected
+
+
+def crack_distribution_permanent(space: MappingSpace) -> np.ndarray:
+    """``P(X = k)`` by the paper's literal Section 4.1 formula.
+
+    For each candidate crack set ``S`` of size ``k``, remove the nodes of
+    ``S`` (those cracks are forced) and the true edges of every other
+    item (no further cracks allowed); the permanent of what remains
+    counts the matchings whose crack set is exactly ``S``.  Exponential
+    in both the subset lattice and the permanents — tiny domains only;
+    exists to cross-validate :func:`crack_distribution` and to document
+    why the paper abandons the direct method.
+    """
+    from itertools import combinations
+
+    n = space.n
+    if n > 8:
+        raise GraphError(
+            f"the subset-permanent formula over a {n}-item space is infeasible (limit 8)"
+        )
+    matrix = space.adjacency_matrix()
+    total = permanent(matrix)
+    if total == 0:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+
+    true_edges = [(space.true_partner(i), i) for i in range(n)]
+    law = np.zeros(n + 1, dtype=np.float64)
+    for k in range(n + 1):
+        for subset in combinations(range(n), k):
+            chosen = set(subset)
+            # Forced cracks must actually be edges.
+            if any(matrix[true_edges[i][0], i] == 0.0 for i in chosen):
+                continue
+            reduced = matrix.copy()
+            for i in range(n):
+                if i not in chosen:
+                    reduced[true_edges[i][0], i] = 0.0  # forbid further cracks
+            keep_rows = [j for j in range(n) if j not in {true_edges[i][0] for i in chosen}]
+            keep_cols = [i for i in range(n) if i not in chosen]
+            minor = reduced[np.ix_(keep_rows, keep_cols)]
+            law[k] += permanent(minor)
+    return law / total
+
+
+def enumerate_consistent_matchings(space: MappingSpace) -> Iterator[tuple[int, ...]]:
+    """Yield every consistent perfect matching as an item->anon index tuple.
+
+    Items are processed in increasing-outdegree order for pruning; the
+    yielded tuples are indexed by item index regardless.  Guarded at
+    ``n <= 12``.
+    """
+    n = space.n
+    if n > _ENUMERATION_LIMIT:
+        raise GraphError(
+            f"enumerating matchings of a {n}-item space is infeasible "
+            f"(limit {_ENUMERATION_LIMIT})"
+        )
+    order = sorted(range(n), key=space.outdegree)
+    candidate_lists = [tuple(space.candidates(i)) for i in range(n)]
+    assignment = [-1] * n
+    used = [False] * n
+
+    def extend(depth: int) -> Iterator[tuple[int, ...]]:
+        if depth == n:
+            yield tuple(assignment)
+            return
+        i = order[depth]
+        for j in candidate_lists[i]:
+            if not used[j]:
+                used[j] = True
+                assignment[i] = j
+                yield from extend(depth + 1)
+                used[j] = False
+        assignment[i] = -1
+
+    yield from extend(0)
+
+
+def crack_distribution(space: MappingSpace) -> np.ndarray:
+    """The exact law of the number of cracks ``X``.
+
+    Returns an array ``p`` with ``p[k] = P(X = k)`` for ``k = 0..n``,
+    computed by exhaustive enumeration of consistent matchings under the
+    paper's uniform-matching assumption.
+    """
+    n = space.n
+    counts = np.zeros(n + 1, dtype=np.float64)
+    total = 0
+    for assignment in enumerate_consistent_matchings(space):
+        counts[space.count_cracks(assignment)] += 1
+        total += 1
+    if total == 0:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+    return counts / total

@@ -1,0 +1,150 @@
+"""Degree-1 propagation — Figure 7 of the paper.
+
+When a node (on either side of the bipartite graph) has degree 1, its
+single incident edge belongs to *every* perfect matching: the pair is
+forced, both endpoints can be removed, and the removal may expose new
+degree-1 nodes.  Figure 6(a)'s staircase graph shows why this matters for
+the O-estimate: the raw estimate gives 25/12 cracks while the true value
+is exactly 4, because every assignment is forced.
+
+The procedure runs in ``O(v * e)`` worst case (each forced pair can
+trigger a pass over its endpoints' neighbourhoods); in practice it
+converges in a few iterations (paper, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graph.bipartite import MappingSpace
+
+__all__ = ["PropagationResult", "propagate_degree_one"]
+
+_DEFAULT_MAX_EDGES = 5_000_000
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of degree-1 propagation on a mapping space.
+
+    Attributes
+    ----------
+    forced:
+        Item->anon index pairs present in every perfect matching.
+    remaining_outdegrees:
+        Outdegree of every *unforced* item in the reduced graph.
+    remaining_adjacency:
+        Reduced adjacency (item index -> set of anon indices) for the
+        unforced items.
+    infeasible:
+        True when propagation emptied some node's neighbourhood — the
+        graph then has no perfect matching at all.
+    """
+
+    forced: dict[int, int] = field(default_factory=dict)
+    remaining_outdegrees: dict[int, int] = field(default_factory=dict)
+    remaining_adjacency: dict[int, set[int]] = field(default_factory=dict)
+    infeasible: bool = False
+
+    @property
+    def n_forced(self) -> int:
+        return len(self.forced)
+
+    def forced_cracks(self, space: MappingSpace) -> int:
+        """How many of the forced pairs are true identifications.
+
+        A forced pair is a *sure crack* when it coincides with the
+        ground-truth pairing — the hacker identifies that item with
+        certainty, as in Figure 6(a).
+        """
+        return sum(1 for i, j in self.forced.items() if space.true_partner(i) == j)
+
+
+def propagate_degree_one(
+    space: MappingSpace, max_edges: int = _DEFAULT_MAX_EDGES
+) -> PropagationResult:
+    """Run the propagation procedure of Figure 7.
+
+    Builds an explicit mutable adjacency (guarded by *max_edges*), then
+    repeatedly fixes the edge of any degree-1 node on either side and
+    deletes both endpoints until a fixed point.
+    """
+    n = space.n
+    total_edges = space.edge_count()
+    if total_edges > max_edges:
+        raise GraphError(
+            f"propagation needs an explicit adjacency; {total_edges} edges exceed "
+            f"the {max_edges}-edge guard (raise max_edges to override)"
+        )
+
+    item_adj: list[set[int]] = [set(space.candidates(i)) for i in range(n)]
+    anon_adj: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in item_adj[i]:
+            anon_adj[j].add(i)
+
+    result = PropagationResult()
+    removed_item = [False] * n
+    removed_anon = [False] * n
+    queue: deque[tuple[str, int]] = deque()
+    for i in range(n):
+        if len(item_adj[i]) == 1:
+            queue.append(("item", i))
+        elif not item_adj[i]:
+            result.infeasible = True
+    for j in range(n):
+        if len(anon_adj[j]) == 1:
+            queue.append(("anon", j))
+        elif not anon_adj[j]:
+            result.infeasible = True
+
+    def force(i: int, j: int) -> None:
+        """Fix the pair (item i, anon j) and delete both nodes."""
+        result.forced[i] = j
+        removed_item[i] = True
+        removed_anon[j] = True
+        for other_anon in item_adj[i] - {j}:
+            anon_adj[other_anon].discard(i)
+            if not removed_anon[other_anon]:
+                if len(anon_adj[other_anon]) == 1:
+                    queue.append(("anon", other_anon))
+                elif not anon_adj[other_anon]:
+                    result.infeasible = True
+        for other_item in anon_adj[j] - {i}:
+            item_adj[other_item].discard(j)
+            if not removed_item[other_item]:
+                if len(item_adj[other_item]) == 1:
+                    queue.append(("item", other_item))
+                elif not item_adj[other_item]:
+                    result.infeasible = True
+        item_adj[i] = {j}
+        anon_adj[j] = {i}
+
+    while queue:
+        side, node = queue.popleft()
+        if side == "item":
+            if removed_item[node] or len(item_adj[node]) != 1:
+                continue
+            (j,) = item_adj[node]
+            if removed_anon[j]:
+                result.infeasible = True
+                continue
+            force(node, j)
+        else:
+            if removed_anon[node] or len(anon_adj[node]) != 1:
+                continue
+            (i,) = anon_adj[node]
+            if removed_item[i]:
+                result.infeasible = True
+                continue
+            force(i, node)
+
+    for i in range(n):
+        if not removed_item[i]:
+            result.remaining_adjacency[i] = item_adj[i]
+            result.remaining_outdegrees[i] = len(item_adj[i])
+            if not item_adj[i]:
+                result.infeasible = True
+    return result

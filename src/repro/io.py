@@ -1,0 +1,179 @@
+"""JSON persistence for owner-workflow artifacts.
+
+A disclosure decision is an auditable act: the owner wants to file what
+was assumed (the belief model), what was measured (the assessment), and
+what was released (the profile, possibly protected).  This module
+round-trips those artifacts through plain JSON:
+
+* :class:`~repro.beliefs.function.BeliefFunction`
+* :class:`~repro.data.database.FrequencyProfile`
+* :class:`~repro.recipe.assess.RiskAssessment`
+
+Items are serialized with a small tagged encoding so integer and string
+items survive the trip (JSON object keys are always strings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.beliefs.function import BeliefFunction
+from repro.beliefs.interval import Interval
+from repro.core.oestimate import OEstimateResult
+from repro.data.database import FrequencyProfile
+from repro.errors import FormatError
+from repro.recipe.assess import Decision, RiskAssessment
+
+__all__ = [
+    "belief_to_json",
+    "belief_from_json",
+    "profile_to_json",
+    "profile_from_json",
+    "assessment_to_json",
+    "assessment_from_json",
+    "save_json",
+    "load_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def _encode_item(item: object) -> list:
+    if isinstance(item, bool) or not isinstance(item, (int, str)):
+        raise FormatError(
+            f"only int and str items are JSON-serializable, got {type(item).__name__}"
+        )
+    kind = "int" if isinstance(item, int) else "str"
+    return [kind, str(item)]
+
+
+def _decode_item(encoded: object) -> object:
+    if (
+        not isinstance(encoded, list)
+        or len(encoded) != 2
+        or encoded[0] not in ("int", "str")
+    ):
+        raise FormatError(f"malformed item encoding: {encoded!r}")
+    kind, value = encoded
+    return int(value) if kind == "int" else value
+
+
+def belief_to_json(belief: BeliefFunction) -> dict:
+    """A JSON-ready representation of a belief function."""
+    return {
+        "type": "belief_function",
+        "intervals": [
+            [_encode_item(item), interval.low, interval.high]
+            for item, interval in sorted(belief.items(), key=lambda kv: repr(kv[0]))
+        ],
+    }
+
+
+def belief_from_json(payload: dict) -> BeliefFunction:
+    """Rebuild a belief function written by :func:`belief_to_json`."""
+    if payload.get("type") != "belief_function":
+        raise FormatError("payload is not a serialized belief function")
+    intervals = {}
+    for entry in payload["intervals"]:
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise FormatError(f"malformed interval entry: {entry!r}")
+        item_encoded, low, high = entry
+        intervals[_decode_item(item_encoded)] = Interval(float(low), float(high))
+    return BeliefFunction(intervals)
+
+
+def profile_to_json(profile: FrequencyProfile) -> dict:
+    """A JSON-ready representation of a frequency profile."""
+    return {
+        "type": "frequency_profile",
+        "n_transactions": profile.n_transactions,
+        "counts": [
+            [_encode_item(item), int(count)]
+            for item, count in sorted(profile.counts.items(), key=lambda kv: repr(kv[0]))
+        ],
+    }
+
+
+def profile_from_json(payload: dict) -> FrequencyProfile:
+    """Rebuild a frequency profile written by :func:`profile_to_json`."""
+    if payload.get("type") != "frequency_profile":
+        raise FormatError("payload is not a serialized frequency profile")
+    counts = {}
+    for entry in payload["counts"]:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise FormatError(f"malformed count entry: {entry!r}")
+        item_encoded, count = entry
+        counts[_decode_item(item_encoded)] = int(count)
+    return FrequencyProfile(counts, int(payload["n_transactions"]))
+
+
+def assessment_to_json(assessment: RiskAssessment) -> dict:
+    """A JSON-ready representation of an Assess-Risk outcome."""
+    estimate = assessment.interval_estimate
+    return {
+        "type": "risk_assessment",
+        "decision": assessment.decision.name,
+        "tolerance": assessment.tolerance,
+        "n_items": assessment.n_items,
+        "g": assessment.g,
+        "delta": assessment.delta,
+        "alpha_max": assessment.alpha_max,
+        "interval_estimate": None
+        if estimate is None
+        else {
+            "value": estimate.value,
+            "n": estimate.n,
+            "n_compliant": estimate.n_compliant,
+            "n_forced": estimate.n_forced,
+            "propagated": estimate.propagated,
+        },
+    }
+
+
+def assessment_from_json(payload: dict) -> RiskAssessment:
+    """Rebuild an assessment written by :func:`assessment_to_json`."""
+    if payload.get("type") != "risk_assessment":
+        raise FormatError("payload is not a serialized risk assessment")
+    try:
+        decision = Decision[payload["decision"]]
+    except KeyError as exc:
+        raise FormatError(f"unknown decision {payload.get('decision')!r}") from exc
+    raw_estimate = payload.get("interval_estimate")
+    estimate = (
+        None
+        if raw_estimate is None
+        else OEstimateResult(
+            value=float(raw_estimate["value"]),
+            n=int(raw_estimate["n"]),
+            n_compliant=int(raw_estimate["n_compliant"]),
+            n_forced=int(raw_estimate.get("n_forced", 0)),
+            propagated=bool(raw_estimate.get("propagated", False)),
+        )
+    )
+    return RiskAssessment(
+        decision=decision,
+        tolerance=float(payload["tolerance"]),
+        n_items=int(payload["n_items"]),
+        g=int(payload["g"]),
+        delta=None if payload.get("delta") is None else float(payload["delta"]),
+        interval_estimate=estimate,
+        alpha_max=None if payload.get("alpha_max") is None else float(payload["alpha_max"]),
+    )
+
+
+def save_json(payload: dict, path: PathLike) -> None:
+    """Write a serialized artifact to disk (pretty-printed, stable order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: PathLike) -> dict:
+    """Read a serialized artifact, with a library error on bad JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{path}: invalid JSON ({exc})") from exc

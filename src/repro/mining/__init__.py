@@ -1,0 +1,31 @@
+"""Frequent-set mining substrate (the paper's motivating task).
+
+The paper's scenarios — mining as a service, mining for the common good —
+release anonymized data *so that someone can mine it*.  This subpackage
+provides the mining side: three classic frequent-itemset miners (Apriori,
+FP-growth, ECLAT) over :class:`~repro.data.database.TransactionDatabase`,
+association-rule generation, and the closed/maximal condensations.  The
+examples use it to demonstrate that anonymization preserves every pattern
+up to renaming (the property that makes it attractive, and risky).
+"""
+
+from repro.mining.apriori import apriori
+from repro.mining.condense import closed_itemsets, maximal_itemsets
+from repro.mining.eclat import eclat, vertical_representation
+from repro.mining.fpgrowth import fp_growth
+from repro.mining.itemsets import FrequentItemset, itemsets_equal_up_to_renaming, support
+from repro.mining.rules import AssociationRule, generate_rules
+
+__all__ = [
+    "apriori",
+    "fp_growth",
+    "eclat",
+    "vertical_representation",
+    "FrequentItemset",
+    "support",
+    "itemsets_equal_up_to_renaming",
+    "AssociationRule",
+    "generate_rules",
+    "closed_itemsets",
+    "maximal_itemsets",
+]

@@ -1,0 +1,96 @@
+"""Apriori frequent-itemset mining (Agrawal, Imielinski, Swami 1993).
+
+The classic level-wise algorithm the paper cites as the setting of its
+risk analysis: generate candidate ``k``-itemsets by joining frequent
+``(k-1)``-itemsets, prune candidates with an infrequent subset, then
+count supports in one database pass per level.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+from repro.data.database import TransactionDatabase
+from repro.errors import DataError
+from repro.mining.itemsets import FrequentItemset
+
+__all__ = ["apriori"]
+
+
+def _frequent_singletons(db: TransactionDatabase, min_support: float) -> dict:
+    counts = {item: db.item_count(item) for item in db.domain}
+    threshold = min_support * db.n_transactions
+    return {
+        frozenset([item]): count
+        for item, count in counts.items()
+        if count >= threshold and count > 0
+    }
+
+
+def _generate_candidates(frequent: set, size: int) -> set:
+    """Join step + prune step of Apriori."""
+    candidates = set()
+    frequent_list = sorted(frequent, key=lambda s: sorted(map(repr, s)))
+    for a_index, a in enumerate(frequent_list):
+        for b in frequent_list[a_index + 1 :]:
+            union = a | b
+            if len(union) != size:
+                continue
+            if all(frozenset(subset) in frequent for subset in combinations(union, size - 1)):
+                candidates.add(union)
+    return candidates
+
+
+def apriori(
+    db: TransactionDatabase,
+    min_support: float,
+    max_size: int | None = None,
+) -> list[FrequentItemset]:
+    """Mine all itemsets with support at least *min_support*.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    min_support:
+        Support threshold as a fraction of transactions, in ``(0, 1]``.
+    max_size:
+        Optional cap on the itemset size explored.
+
+    Returns
+    -------
+    All frequent itemsets, sorted by descending support then by size.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise DataError(f"min_support must be in (0, 1], got {min_support}")
+    m = db.n_transactions
+    threshold = min_support * m
+    results: list[FrequentItemset] = []
+
+    level = _frequent_singletons(db, min_support)
+    size = 1
+    while level:
+        results.extend(
+            FrequentItemset(support=count / m, items=itemset)
+            for itemset, count in level.items()
+        )
+        if max_size is not None and size >= max_size:
+            break
+        size += 1
+        candidates = _generate_candidates(set(level), size)
+        if not candidates:
+            break
+        counts: dict = defaultdict(int)
+        for transaction in db:
+            if len(transaction) < size:
+                continue
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        level = {
+            itemset: count for itemset, count in counts.items() if count >= threshold
+        }
+
+    results.sort(key=lambda fi: (-fi.support, len(fi.items), sorted(map(repr, fi.items))))
+    return results

@@ -1,0 +1,69 @@
+"""Condensed representations: closed and maximal frequent itemsets.
+
+Post-processing over a mined collection:
+
+* an itemset is **closed** when no proper superset has the same support;
+* an itemset is **maximal** when no proper superset is frequent.
+
+Closed itemsets preserve all support information; maximal itemsets
+preserve only the frequent/infrequent boundary.  Both are standard
+condensations used when the full collection is too large to release —
+which is also relevant to the paper's setting, since releasing fewer
+patterns leaks less structure.
+
+Both functions assume the input collection is *downward closed* (as the
+library's miners guarantee): then checking immediate (size + 1)
+supersets suffices, because support monotonicity sandwiches every
+intermediate superset.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.mining.itemsets import FrequentItemset
+
+__all__ = ["closed_itemsets", "maximal_itemsets"]
+
+
+def closed_itemsets(frequent_itemsets: Iterable[FrequentItemset]) -> list[FrequentItemset]:
+    """The closed itemsets of a mined collection.
+
+    An itemset is kept unless some strict superset in the collection has
+    exactly the same support.
+    """
+    collection = list(frequent_itemsets)
+    by_size: dict[int, list[FrequentItemset]] = defaultdict(list)
+    for itemset in collection:
+        by_size[len(itemset.items)].append(itemset)
+
+    closed: list[FrequentItemset] = []
+    for itemset in collection:
+        supersets = by_size.get(len(itemset.items) + 1, [])
+        if any(
+            itemset.items < candidate.items and candidate.support == itemset.support
+            for candidate in supersets
+        ):
+            continue
+        closed.append(itemset)
+    closed.sort(key=lambda fi: (-fi.support, len(fi.items), sorted(map(repr, fi.items))))
+    return closed
+
+
+def maximal_itemsets(frequent_itemsets: Iterable[FrequentItemset]) -> list[FrequentItemset]:
+    """The maximal itemsets: frequent sets with no frequent strict superset."""
+    collection = list(frequent_itemsets)
+    all_sets = {itemset.items for itemset in collection}
+    by_size: dict[int, list[frozenset]] = defaultdict(list)
+    for items in all_sets:
+        by_size[len(items)].append(items)
+
+    maximal: list[FrequentItemset] = []
+    for itemset in collection:
+        supersets = by_size.get(len(itemset.items) + 1, [])
+        if any(itemset.items < candidate for candidate in supersets):
+            continue
+        maximal.append(itemset)
+    maximal.sort(key=lambda fi: (-fi.support, len(fi.items), sorted(map(repr, fi.items))))
+    return maximal

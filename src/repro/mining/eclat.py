@@ -1,0 +1,65 @@
+"""ECLAT frequent-itemset mining (Zaki 2000).
+
+The third classic miner, working on the *vertical* representation: each
+item maps to the set of transaction ids containing it (its *tidset*),
+and itemset supports come from tidset intersections.  Depth-first search
+with tidset propagation; equivalent output to Apriori and FP-growth,
+often fastest on dense data.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.data.database import TransactionDatabase
+from repro.errors import DataError
+from repro.mining.itemsets import FrequentItemset
+
+__all__ = ["eclat", "vertical_representation"]
+
+Item = Hashable
+
+
+def vertical_representation(db: TransactionDatabase) -> dict:
+    """Item -> frozenset of transaction indices containing it (tidsets)."""
+    tidsets: dict[Item, set[int]] = {}
+    for tid, transaction in enumerate(db):
+        for item in transaction:
+            tidsets.setdefault(item, set()).add(tid)
+    return {item: frozenset(tids) for item, tids in tidsets.items()}
+
+
+def eclat(
+    db: TransactionDatabase,
+    min_support: float,
+    max_size: int | None = None,
+) -> list[FrequentItemset]:
+    """Mine all itemsets with support at least *min_support* via ECLAT.
+
+    Same contract and output as :func:`~repro.mining.apriori.apriori`.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise DataError(f"min_support must be in (0, 1], got {min_support}")
+    m = db.n_transactions
+    threshold = min_support * m
+    tidsets = vertical_representation(db)
+    frequent_items = sorted(
+        (item for item, tids in tidsets.items() if len(tids) >= threshold),
+        key=lambda item: (len(tidsets[item]), repr(item)),
+    )
+    results: list[FrequentItemset] = []
+
+    def explore(prefix: frozenset, prefix_tids: frozenset, candidates: list) -> None:
+        for index, item in enumerate(candidates):
+            tids = prefix_tids & tidsets[item] if prefix else tidsets[item]
+            if len(tids) < threshold:
+                continue
+            itemset = prefix | {item}
+            results.append(FrequentItemset(support=len(tids) / m, items=itemset))
+            if max_size is not None and len(itemset) >= max_size:
+                continue
+            explore(itemset, tids, candidates[index + 1 :])
+
+    explore(frozenset(), frozenset(), frequent_items)
+    results.sort(key=lambda fi: (-fi.support, len(fi.items), sorted(map(repr, fi.items))))
+    return results

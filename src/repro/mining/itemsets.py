@@ -1,0 +1,62 @@
+"""Itemset primitives shared by the miners."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.data.database import TransactionDatabase
+from repro.errors import DataError
+
+__all__ = ["FrequentItemset", "support", "itemsets_equal_up_to_renaming"]
+
+Item = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class FrequentItemset:
+    """A frequent itemset with its support (fraction of transactions)."""
+
+    support: float
+    items: frozenset
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise DataError("a frequent itemset cannot be empty")
+        if not 0.0 <= self.support <= 1.0:
+            raise DataError(f"support {self.support} outside [0, 1]")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self.items
+
+
+def support(db: TransactionDatabase, itemset: Iterable[Item]) -> float:
+    """Fraction of transactions containing every item of *itemset*."""
+    wanted = frozenset(itemset)
+    if not wanted:
+        raise DataError("support of the empty itemset is undefined here")
+    hits = sum(1 for transaction in db if wanted <= transaction)
+    return hits / db.n_transactions
+
+
+def itemsets_equal_up_to_renaming(
+    original: Iterable[FrequentItemset],
+    anonymized: Iterable[FrequentItemset],
+    mapping: Mapping[Item, Item],
+) -> bool:
+    """Whether two mining results coincide after renaming through *mapping*.
+
+    Used to demonstrate the paper's premise: anonymization does not
+    perturb data characteristics, so mining the released database yields
+    the original patterns with items renamed.
+    """
+    renamed = {
+        (itemset.support, frozenset(mapping[item] for item in itemset.items))
+        for itemset in original
+    }
+    observed = {(itemset.support, itemset.items) for itemset in anonymized}
+    return renamed == observed

@@ -1,0 +1,123 @@
+"""Association rules from frequent itemsets (Agrawal et al. 1993).
+
+The paper's motivating task is frequent-set / association-rule mining;
+this module completes the substrate: generate all rules ``X -> Y`` with
+confidence above a threshold from a set of frequent itemsets, with the
+standard interestingness measures (confidence, lift, leverage).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import DataError
+from repro.mining.itemsets import FrequentItemset
+
+__all__ = ["AssociationRule", "generate_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent -> consequent`` with its measures.
+
+    Attributes
+    ----------
+    antecedent, consequent:
+        Disjoint, non-empty itemsets.
+    support:
+        Support of their union.
+    confidence:
+        ``support(A u C) / support(A)``.
+    lift:
+        ``confidence / support(C)`` — 1 means independence.
+    leverage:
+        ``support(A u C) - support(A) * support(C)``.
+    """
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+
+    def __post_init__(self) -> None:
+        if not self.antecedent or not self.consequent:
+            raise DataError("rule sides must be non-empty")
+        if self.antecedent & self.consequent:
+            raise DataError("rule sides must be disjoint")
+
+    def __str__(self) -> str:
+        lhs = ", ".join(sorted(map(str, self.antecedent)))
+        rhs = ", ".join(sorted(map(str, self.consequent)))
+        return (
+            f"{{{lhs}}} -> {{{rhs}}} "
+            f"(supp={self.support:.3f}, conf={self.confidence:.3f}, lift={self.lift:.2f})"
+        )
+
+
+def generate_rules(
+    frequent_itemsets: Iterable[FrequentItemset],
+    min_confidence: float,
+    min_lift: float | None = None,
+) -> list[AssociationRule]:
+    """All rules meeting the thresholds, from mined frequent itemsets.
+
+    Parameters
+    ----------
+    frequent_itemsets:
+        Output of :func:`~repro.mining.apriori.apriori` or
+        :func:`~repro.mining.fpgrowth.fp_growth`.  Must be *downward
+        closed* (both miners guarantee this): every non-empty subset of a
+        frequent itemset appears with its support.
+    min_confidence:
+        Confidence threshold in ``(0, 1]``.
+    min_lift:
+        Optional lift threshold (e.g. 1.0 for positively correlated
+        rules only).
+
+    Returns
+    -------
+    Rules sorted by descending confidence, then lift.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise DataError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    support_of: dict[frozenset, float] = {}
+    for itemset in frequent_itemsets:
+        support_of[itemset.items] = itemset.support
+
+    rules: list[AssociationRule] = []
+    for items, union_support in support_of.items():
+        if len(items) < 2:
+            continue
+        for size in range(1, len(items)):
+            for antecedent_tuple in combinations(sorted(items, key=repr), size):
+                antecedent = frozenset(antecedent_tuple)
+                consequent = items - antecedent
+                antecedent_support = support_of.get(antecedent)
+                consequent_support = support_of.get(consequent)
+                if antecedent_support is None or consequent_support is None:
+                    raise DataError(
+                        "frequent itemsets are not downward closed: "
+                        f"missing support for a subset of {set(items)!r}"
+                    )
+                confidence = union_support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                lift = confidence / consequent_support
+                if min_lift is not None and lift < min_lift:
+                    continue
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=union_support,
+                        confidence=confidence,
+                        lift=lift,
+                        leverage=union_support - antecedent_support * consequent_support,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.confidence, -r.lift, sorted(map(repr, r.antecedent))))
+    return rules

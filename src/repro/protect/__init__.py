@@ -1,0 +1,29 @@
+"""Countermeasures: reshaping data until anonymization is safe to release.
+
+The paper diagnoses the risk (Lemma 3: items with *equal* frequencies
+camouflage each other; isolated frequencies give the hacker sure cracks)
+but stops at the disclose/withhold decision.  This package implements the
+constructive next step the analysis suggests: perturb the release just
+enough that the recipe's estimates fall within tolerance.
+
+* :mod:`repro.protect.binning` — **frequency binning**: snap item counts
+  to a coarser grid so frequency groups merge (raising camouflage,
+  lowering ``g`` and the O-estimate), at a quantified frequency
+  distortion.
+* :mod:`repro.protect.suppress` — **item suppression**: withhold the
+  most identifiable items entirely.
+* :mod:`repro.protect.planner` — search the smallest intervention that
+  brings the Assess-Risk recipe within the owner's tolerance.
+"""
+
+from repro.protect.binning import bin_counts, quantile_bin
+from repro.protect.planner import ProtectionPlan, protect_to_tolerance
+from repro.protect.suppress import suppress_most_exposed
+
+__all__ = [
+    "bin_counts",
+    "quantile_bin",
+    "suppress_most_exposed",
+    "ProtectionPlan",
+    "protect_to_tolerance",
+]

@@ -1,0 +1,170 @@
+"""Search for the smallest intervention that makes a release safe.
+
+Glues the countermeasures to the recipe: find the least-distorting
+binning (or the smallest suppression set) for which the Assess-Risk
+recipe's fully compliant interval O-estimate falls within the owner's
+tolerance.  Monotonicity does the work again: coarser bins merge more
+groups, so the estimate is non-increasing in the bin parameter and a
+doubling-plus-bisection search applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.beliefs.builders import uniform_width_belief
+from repro.core.oestimate import o_estimate
+from repro.data.database import FrequencyProfile, FrequencySource
+from repro.data.frequency import FrequencyGroups
+from repro.errors import DataError
+from repro.graph.bipartite import space_from_frequencies
+from repro.protect.binning import BinnedRelease, bin_counts, quantile_bin
+from repro.protect.suppress import suppress_most_exposed
+
+__all__ = ["ProtectionPlan", "protect_to_tolerance"]
+
+
+@dataclass(frozen=True)
+class ProtectionPlan:
+    """The chosen intervention and its before/after risk accounting.
+
+    Attributes
+    ----------
+    strategy:
+        ``"bin"``, ``"quantile"`` or ``"suppress"``.
+    parameter:
+        The bin width / bin size / number of suppressed items chosen.
+    estimate_before, estimate_after:
+        Fully compliant interval O-estimates (same ``delta`` policy),
+        before and after the intervention.
+    release:
+        The :class:`BinnedRelease` or :class:`SuppressionResult`.
+    """
+
+    strategy: str
+    parameter: int
+    estimate_before: float
+    estimate_after: float
+    release: object
+
+    @property
+    def profile(self) -> FrequencyProfile:
+        """The publishable frequency profile."""
+        return self.release.profile
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable account."""
+        detail = {
+            "bin": f"counts snapped to multiples of {self.parameter}",
+            "quantile": f"count-ranked blocks of {self.parameter} items share a count",
+            "suppress": f"{self.parameter} items withheld",
+        }[self.strategy]
+        return (
+            f"strategy: {self.strategy} ({detail}); "
+            f"O-estimate {self.estimate_before:.2f} -> {self.estimate_after:.2f}"
+        )
+
+
+def _interval_estimate(profile: FrequencyProfile, delta: float) -> float:
+    frequencies = profile.frequencies()
+    belief = uniform_width_belief(frequencies, delta)
+    return o_estimate(space_from_frequencies(belief, frequencies)).value
+
+
+def protect_to_tolerance(
+    source: FrequencySource,
+    tolerance: float,
+    strategy: str = "quantile",
+    delta: float | None = None,
+    max_parameter: int | None = None,
+) -> ProtectionPlan:
+    """Find the least intervention bringing the O-estimate within tolerance.
+
+    Parameters
+    ----------
+    source:
+        The owner's data.
+    tolerance:
+        Recipe tolerance ``tau`` against the original domain size.
+    strategy:
+        ``"bin"`` (fixed-width count grid), ``"quantile"`` (equal-
+        population frequency blocks) or ``"suppress"`` (withhold items).
+    delta:
+        Interval half-width; defaults to the original median gap, held
+        fixed so before/after estimates are comparable.
+    max_parameter:
+        Cap on the searched bin width / bin size; defaults to the
+        transaction count (bin) or domain size (quantile).
+    """
+    if strategy not in ("bin", "quantile", "suppress"):
+        raise DataError(f"unknown protection strategy {strategy!r}")
+    profile_counts = {item: source.item_count(item) for item in source.domain}
+    profile = FrequencyProfile(profile_counts, source.n_transactions)
+    if delta is None:
+        groups = FrequencyGroups.from_source(profile)
+        if len(groups) < 2:
+            raise DataError("single frequency group: pass delta explicitly")
+        delta = groups.median_gap()
+    budget = tolerance * len(profile.domain)
+    before = _interval_estimate(profile, delta)
+
+    if strategy == "suppress":
+        result = suppress_most_exposed(profile, tolerance, delta=delta)
+        return ProtectionPlan(
+            strategy=strategy,
+            parameter=result.n_suppressed,
+            estimate_before=before,
+            estimate_after=result.residual_estimate,
+            release=result,
+        )
+
+    transform = bin_counts if strategy == "bin" else quantile_bin
+    if max_parameter is None:
+        max_parameter = (
+            profile.n_transactions if strategy == "bin" else len(profile.domain)
+        )
+
+    def estimate_at(parameter: int) -> tuple[float, BinnedRelease]:
+        release = transform(profile, parameter)
+        return _interval_estimate(release.profile, delta), release
+
+    if before <= budget:
+        release = transform(profile, 1)
+        return ProtectionPlan(
+            strategy=strategy,
+            parameter=1,
+            estimate_before=before,
+            estimate_after=before,
+            release=release,
+        )
+
+    # Doubling search for a sufficient parameter, then bisection for the
+    # smallest one.  Binning is monotone in expectation but snapping can
+    # jitter locally, so the bisection keeps the best sufficient value.
+    parameter = 2
+    estimate, release = estimate_at(parameter)
+    while estimate > budget and parameter < max_parameter:
+        parameter = min(parameter * 2, max_parameter)
+        estimate, release = estimate_at(parameter)
+    if estimate > budget:
+        raise DataError(
+            f"no {strategy} parameter up to {max_parameter} meets tolerance {tolerance}"
+        )
+    low, high = parameter // 2, parameter
+    best = (high, estimate, release)
+    while high - low > 1:
+        mid = (low + high) // 2
+        mid_estimate, mid_release = estimate_at(mid)
+        if mid_estimate <= budget:
+            high = mid
+            best = (mid, mid_estimate, mid_release)
+        else:
+            low = mid
+    parameter, estimate, release = best
+    return ProtectionPlan(
+        strategy=strategy,
+        parameter=parameter,
+        estimate_before=before,
+        estimate_after=estimate,
+        release=release,
+    )

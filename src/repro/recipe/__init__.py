@@ -1,0 +1,22 @@
+"""The data owner's risk-assessment recipe (paper, Sections 6 and 7.4).
+
+* :func:`~repro.recipe.assess.assess_risk` — the Assess-Risk algorithm of
+  Figure 8: point-valued check, compliant-interval O-estimate with the
+  median-gap width, and the alpha_max binary search.
+* :func:`~repro.recipe.similarity.similarity_by_sampling` — the
+  Similarity-by-Sampling procedure of Figure 13, mapping sample size to
+  the degree of compliancy a hacker with "similar data" would achieve.
+"""
+
+from repro.recipe.assess import Decision, RiskAssessment, assess_risk
+from repro.recipe.report import full_report
+from repro.recipe.similarity import SimilarityPoint, similarity_by_sampling
+
+__all__ = [
+    "Decision",
+    "RiskAssessment",
+    "assess_risk",
+    "SimilarityPoint",
+    "similarity_by_sampling",
+    "full_report",
+]

@@ -1,0 +1,194 @@
+"""Assess-Risk — the suggested recipe of Figure 8.
+
+Given the owner's database (or its frequency profile) and a *degree of
+tolerance* ``tau`` (the fraction of items the owner can afford to see
+cracked), the recipe proceeds through three increasingly realistic hacker
+models:
+
+1. **Point-valued** (worst case): expected cracks = ``g``, the number of
+   frequency groups (Lemma 3).  If already within tolerance, disclose.
+2. **Compliant interval** with half-width ``delta_med`` (the median gap
+   between frequency groups): compute the O-estimate.  If within
+   tolerance, disclose.
+3. **alpha-compliant**: find ``alpha_max``, the largest degree of
+   compliancy keeping the expected cracks within tolerance.  The owner
+   then judges whether a hacker is plausibly that well-informed —
+   Similarity-by-Sampling (Figure 13) helps anchor that judgement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.beliefs.builders import uniform_width_belief
+from repro.core.alpha import alpha_max as compute_alpha_max
+from repro.core.oestimate import OEstimateResult, o_estimate
+from repro.data.database import FrequencySource
+from repro.data.frequency import FrequencyGroups
+from repro.errors import RecipeError
+from repro.graph.bipartite import space_from_frequencies
+
+__all__ = ["Decision", "RiskAssessment", "assess_risk"]
+
+
+class Decision(enum.Enum):
+    """The recipe's outcome."""
+
+    DISCLOSE_POINT_VALUED = "disclose: safe even against exact frequency knowledge"
+    DISCLOSE_INTERVAL = "disclose: safe against ball-park (median-gap) frequency knowledge"
+    ALPHA_BOUND = "judgement call: safe only below the reported alpha_max compliancy"
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """Everything the recipe computed on the way to its decision.
+
+    Attributes
+    ----------
+    decision:
+        Which rung of the recipe settled the matter.
+    tolerance:
+        The owner's ``tau``.
+    n_items:
+        Domain size.
+    g:
+        Number of frequency groups — the point-valued expected cracks
+        (Lemma 3).
+    delta:
+        The interval half-width used (``delta_med`` unless overridden).
+    interval_estimate:
+        The fully compliant interval O-estimate (step 6), ``None`` when
+        the recipe stopped at step 2.
+    alpha_max:
+        Largest tolerable degree of compliancy (step 9), ``None`` unless
+        the recipe reached step 8.
+    """
+
+    decision: Decision
+    tolerance: float
+    n_items: int
+    g: int
+    delta: float | None = None
+    interval_estimate: OEstimateResult | None = None
+    alpha_max: float | None = None
+
+    @property
+    def disclose(self) -> bool:
+        """True when the recipe reached an unconditional disclose."""
+        return self.decision is not Decision.ALPHA_BOUND
+
+    def summary(self) -> str:
+        """A human-readable account of the assessment."""
+        lines = [
+            f"domain: {self.n_items} items, tolerance tau = {self.tolerance}",
+            f"point-valued expected cracks g = {self.g} "
+            f"({self.g / self.n_items:.4f} of domain)",
+        ]
+        if self.delta is not None:
+            lines.append(f"interval half-width delta_med = {self.delta:.6g}")
+        if self.interval_estimate is not None:
+            lines.append(
+                f"compliant-interval O-estimate = {self.interval_estimate.value:.2f} "
+                f"({self.interval_estimate.fraction:.4f} of domain)"
+            )
+        if self.alpha_max is not None:
+            lines.append(f"alpha_max = {self.alpha_max:.3f}")
+        lines.append(f"decision: {self.decision.value}")
+        return "\n".join(lines)
+
+
+def assess_risk(
+    source: FrequencySource,
+    tolerance: float,
+    delta: float | None = None,
+    runs: int = 5,
+    rng: np.random.Generator | None = None,
+    interest: "Iterable | None" = None,
+) -> RiskAssessment:
+    """Run the Assess-Risk recipe (Figure 8) on a database or profile.
+
+    Parameters
+    ----------
+    source:
+        The owner's data — a :class:`TransactionDatabase` or
+        :class:`FrequencyProfile`.
+    tolerance:
+        ``tau`` — the fraction of items the owner can tolerate cracked.
+    delta:
+        Interval half-width override; defaults to the median frequency
+        gap ``delta_med`` (step 4).
+    runs:
+        Averaging runs for the alpha-compliant stage (Section 6.2 uses 5).
+    rng:
+        Randomness for the alpha-compliant subsets.
+    interest:
+        Optional subset ``I_1`` of items the owner actually cares about
+        (Lemmas 2 and 4 — e.g. the frequent items or those with the
+        highest margin).  Every stage then counts expected cracks among
+        these items only, against a budget of ``tolerance * |I_1|``.
+    """
+    if not 0.0 <= tolerance <= 1.0:
+        raise RecipeError(f"tolerance must be in [0, 1], got {tolerance}")
+    frequencies = source.frequencies()
+    groups = FrequencyGroups(frequencies)
+    n = len(frequencies)
+    g = len(groups)
+    if interest is not None:
+        interest = frozenset(interest)
+        if not interest:
+            raise RecipeError("the interest subset must be non-empty")
+    basis = n if interest is None else len(interest)
+
+    # Steps 1-2: the point-valued worst case (Lemma 3, or Lemma 4 for a
+    # subset of interest).
+    if interest is None:
+        point_valued = float(g)
+    else:
+        from repro.core.exact import expected_cracks_point_valued_subset
+
+        point_valued = expected_cracks_point_valued_subset(groups, interest)
+    if point_valued <= tolerance * basis:
+        return RiskAssessment(
+            decision=Decision.DISCLOSE_POINT_VALUED,
+            tolerance=tolerance,
+            n_items=n,
+            g=g,
+        )
+
+    # Steps 3-5: compliant interval belief with the median-gap width.
+    if delta is None:
+        if g < 2:
+            raise RecipeError(
+                "a single frequency group has no gaps; pass delta explicitly"
+            )
+        delta = groups.median_gap()
+    belief = uniform_width_belief(frequencies, delta)
+    space = space_from_frequencies(belief, frequencies)
+
+    # Steps 6-7: the fully compliant O-estimate.
+    estimate = o_estimate(space, interest=interest)
+    if estimate.value <= tolerance * basis:
+        return RiskAssessment(
+            decision=Decision.DISCLOSE_INTERVAL,
+            tolerance=tolerance,
+            n_items=n,
+            g=g,
+            delta=delta,
+            interval_estimate=estimate,
+        )
+
+    # Steps 8-9: search for the largest tolerable degree of compliancy.
+    alpha = compute_alpha_max(space, tolerance, runs=runs, rng=rng, interest=interest)
+    return RiskAssessment(
+        decision=Decision.ALPHA_BOUND,
+        tolerance=tolerance,
+        n_items=n,
+        g=g,
+        delta=delta,
+        interval_estimate=estimate,
+        alpha_max=alpha,
+    )

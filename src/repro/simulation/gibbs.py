@@ -1,0 +1,164 @@
+"""Block-Gibbs sampling of consistent matchings at the group level.
+
+A uniform random consistent perfect matching factorizes over the
+frequency-group structure: every capacity-respecting assignment of items
+to admissible frequency groups is realized by exactly ``prod_g n_g!``
+matchings (the within-group bijections), so the uniform distribution over
+matchings induces the *uniform* distribution over valid assignments, with
+independent uniform within-group bijections given the assignment.
+
+:class:`GibbsAssignmentSampler` exploits this: its state is the
+item-to-group assignment, and one move resamples, for a random adjacent
+group pair ``(g, g+1)``, the placement of all items currently in the pair
+that admit both groups — a heat-bath step whose conditional is uniform
+over subsets, because all completions carry equal weight.  Reshuffling a
+whole boundary per step mixes dramatically faster than the paper's
+single-transposition swap chain (see ``bench_ablations``), while
+targeting exactly the same distribution.
+
+Interval beliefs make every admissible set a contiguous run of groups, so
+adjacent-pair moves connect the state space: any unit of "flow" between
+two groups of an item's run can be routed through the intermediate
+boundaries step by step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.bipartite import FrequencyMappingSpace
+from repro.graph.matching import group_feasible_matching
+
+__all__ = ["GibbsAssignmentSampler"]
+
+
+class GibbsAssignmentSampler:
+    """Heat-bath sampler over item-to-frequency-group assignments.
+
+    Parameters
+    ----------
+    space:
+        A frequency mapping space (the group factorization requires it).
+    rng:
+        Randomness source.
+    seed_with_truth:
+        Start from the ground-truth assignment where consistent (mirrors
+        the paper's all-cracked seed); otherwise from an arbitrary
+        feasible assignment.
+    """
+
+    def __init__(
+        self,
+        space: FrequencyMappingSpace,
+        rng: np.random.Generator | None = None,
+        seed_with_truth: bool = True,
+    ):
+        if not isinstance(space, FrequencyMappingSpace):
+            raise SimulationError("the Gibbs sampler needs a frequency mapping space")
+        self.space = space
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.n = space.n
+        self.k = len(space.groups)
+
+        matching = group_feasible_matching(
+            space, prefer_truth=seed_with_truth, rng=None if seed_with_truth else self.rng
+        )
+        group_of_anon = space.groups.group_of
+        self._assign: np.ndarray = group_of_anon[matching].astype(np.int64)
+        self._members: list[list[int]] = [[] for _ in range(self.k)]
+        for i in range(self.n):
+            self._members[int(self._assign[i])].append(i)
+
+        self._g_lo = np.array([space.admissible_run(i)[0] for i in range(self.n)])
+        self._g_hi = np.array([space.admissible_run(i)[1] for i in range(self.n)])
+        self._true_group = np.array(
+            [space.true_group(i) for i in range(self.n)], dtype=np.int64
+        )
+        counts = space.groups.counts
+        self._inv_group_size = 1.0 / counts[self._true_group]
+
+    # -- chain ----------------------------------------------------------------
+
+    def _resample_boundary(self, g: int) -> None:
+        """Heat-bath reshuffle of the flexible items across groups g, g+1."""
+        h = g + 1
+        g_lo, g_hi = self._g_lo, self._g_hi
+        flexible = [i for i in self._members[g] if g_lo[i] <= g and g_hi[i] > h] + [
+            i for i in self._members[h] if g_lo[i] <= g and g_hi[i] > h
+        ]
+        if len(flexible) < 2:
+            return
+        quota_g = sum(1 for i in self._members[g] if g_lo[i] <= g and g_hi[i] > h)
+        order = self.rng.permutation(len(flexible))
+        keep_g = {flexible[int(j)] for j in order[:quota_g]}
+        self._members[g] = [
+            i for i in self._members[g] if not (g_lo[i] <= g and g_hi[i] > h)
+        ]
+        self._members[h] = [
+            i for i in self._members[h] if not (g_lo[i] <= g and g_hi[i] > h)
+        ]
+        for i in flexible:
+            target = g if i in keep_g else h
+            self._members[target].append(i)
+            self._assign[i] = target
+
+    def sweep(self, n_sweeps: int = 1) -> int:
+        """Run passes over all adjacent boundaries in random order.
+
+        Returns the number of boundary moves attempted (for symmetry with
+        the swap sampler's diagnostics).
+        """
+        moves = 0
+        for _ in range(n_sweeps):
+            if self.k < 2:
+                break
+            for g in self.rng.permutation(self.k - 1):
+                self._resample_boundary(int(g))
+                moves += 1
+        return moves
+
+    # -- observables ---------------------------------------------------------
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """The current item-to-group assignment (copy)."""
+        return self._assign.copy()
+
+    def rao_blackwell_cracks(self) -> float:
+        """Expected cracks given the current group assignment."""
+        in_true_group = self._assign == self._true_group
+        return float(self._inv_group_size[in_true_group].sum())
+
+    def crack_count(self) -> int:
+        """A raw crack count: sample the within-group bijections uniformly."""
+        cracks = 0
+        for g, members in enumerate(self._members):
+            size = len(members)
+            if size == 0:
+                continue
+            # Uniform bijection between assigned items and the group's
+            # anonymized slots: an item is cracked when it lands on its
+            # true partner, which requires its true group to be g.
+            slots = self.rng.permutation(size)
+            anon_members = self.space.groups.members[g]
+            for position, item in enumerate(members):
+                if self._true_group[item] != g:
+                    continue
+                anon = anon_members[int(slots[position])]
+                if self.space.true_partner(item) == anon:
+                    cracks += 1
+        return cracks
+
+    def check_consistency(self) -> bool:
+        """Verify capacities and admissibility — a test/debug aid."""
+        counts = self.space.groups.counts
+        for g, members in enumerate(self._members):
+            if len(members) != int(counts[g]):
+                return False
+            for i in members:
+                if not self._g_lo[i] <= g < self._g_hi[i]:
+                    return False
+                if self._assign[i] != g:
+                    return False
+        return True

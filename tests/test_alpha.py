@@ -1,0 +1,106 @@
+"""Unit tests for alpha-compliant analysis (Section 5.3, 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.beliefs import uniform_width_belief
+from repro.core import alpha_curve, alpha_max, alpha_max_binary_search, o_estimate, o_estimate_alpha
+from repro.core.alpha import compliance_prefix_sums
+from repro.errors import RecipeError
+from repro.graph import space_from_frequencies
+
+
+@pytest.fixture
+def medium_space(rng):
+    freqs = {i: round(float(f), 2) for i, f in enumerate(rng.random(40), start=1)}
+    belief = uniform_width_belief(freqs, 0.03)
+    return space_from_frequencies(belief, freqs)
+
+
+class TestPrefixSums:
+    def test_shape_and_monotonicity(self, medium_space, rng):
+        prefix = compliance_prefix_sums(medium_space, runs=4, rng=rng)
+        assert prefix.shape == (4, medium_space.n + 1)
+        assert (np.diff(prefix, axis=1) >= 0).all()
+        assert (prefix[:, 0] == 0).all()
+
+    def test_full_count_equals_full_oe(self, medium_space, rng):
+        prefix = compliance_prefix_sums(medium_space, runs=3, rng=rng)
+        full = o_estimate(medium_space).value
+        assert prefix[:, -1] == pytest.approx(np.full(3, full))
+
+    def test_invalid_runs(self, medium_space, rng):
+        with pytest.raises(RecipeError):
+            compliance_prefix_sums(medium_space, runs=0, rng=rng)
+
+
+class TestAlphaCurve:
+    def test_endpoints(self, medium_space, rng):
+        curve = alpha_curve(medium_space, [0.0, 1.0], runs=3, rng=rng)
+        assert curve.means[0] == pytest.approx(0.0)
+        assert curve.means[1] == pytest.approx(o_estimate(medium_space).value)
+        assert curve.stds[1] == pytest.approx(0.0)  # all runs share the full sum
+
+    def test_monotone_in_alpha(self, medium_space, rng):
+        alphas = np.linspace(0, 1, 11)
+        curve = alpha_curve(medium_space, alphas, runs=5, rng=rng)
+        assert all(a <= b + 1e-12 for a, b in zip(curve.means, curve.means[1:]))
+
+    def test_expectation_is_linear(self, medium_space):
+        # E[OE(alpha)] = alpha * OE(1) for uniformly random subsets: with
+        # many runs the curve approaches the diagonal.
+        rng = np.random.default_rng(0)
+        curve = alpha_curve(medium_space, [0.5], runs=400, rng=rng)
+        full = o_estimate(medium_space).value
+        assert curve.means[0] == pytest.approx(0.5 * full, rel=0.1)
+
+    def test_fractions(self, medium_space, rng):
+        curve = alpha_curve(medium_space, [1.0], runs=2, rng=rng)
+        assert curve.fractions[0] == pytest.approx(curve.means[0] / medium_space.n)
+
+    def test_invalid_alpha_rejected(self, medium_space, rng):
+        with pytest.raises(RecipeError):
+            alpha_curve(medium_space, [1.2], runs=2, rng=rng)
+
+    def test_single_alpha_helper(self, medium_space):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        value = o_estimate_alpha(medium_space, 0.4, runs=3, rng=rng1)
+        curve = alpha_curve(medium_space, [0.4], runs=3, rng=rng2)
+        assert value == pytest.approx(curve.means[0])
+
+
+class TestAlphaMax:
+    def test_extremes(self, medium_space, rng):
+        assert alpha_max(medium_space, 1.0, rng=rng) == pytest.approx(1.0)
+        assert alpha_max(medium_space, 0.0, rng=rng) == pytest.approx(0.0)
+
+    def test_estimate_at_alpha_max_within_budget(self, medium_space):
+        tolerance = 0.2
+        rng = np.random.default_rng(3)
+        best = alpha_max(medium_space, tolerance, runs=5, rng=rng)
+        rng = np.random.default_rng(3)
+        prefix = compliance_prefix_sums(medium_space, runs=5, rng=rng)
+        count = round(best * medium_space.n)
+        assert prefix.mean(axis=0)[count] <= tolerance * medium_space.n + 1e-9
+
+    def test_binary_search_agrees_with_exact_inversion(self, medium_space):
+        for tolerance in [0.05, 0.1, 0.3]:
+            exact = alpha_max(medium_space, tolerance, rng=np.random.default_rng(5))
+            searched = alpha_max_binary_search(
+                medium_space, tolerance, rng=np.random.default_rng(5), precision=1e-4
+            )
+            assert searched == pytest.approx(exact, abs=2 / medium_space.n)
+
+    def test_monotone_in_tolerance(self, medium_space):
+        values = [
+            alpha_max(medium_space, t, rng=np.random.default_rng(11))
+            for t in [0.01, 0.05, 0.1, 0.2, 0.5, 1.0]
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_tolerance(self, medium_space, rng):
+        with pytest.raises(RecipeError):
+            alpha_max(medium_space, -0.1, rng=rng)
+        with pytest.raises(RecipeError):
+            alpha_max_binary_search(medium_space, 1.5, rng=rng)

@@ -1,0 +1,109 @@
+"""Unit tests for risk profiles and decision-support curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import RiskProfile, delta_sensitivity, tolerance_curve
+from repro.beliefs import uniform_width_belief
+from repro.core import o_estimate
+from repro.errors import RecipeError
+from repro.graph import space_from_frequencies
+
+
+class TestRiskProfile:
+    def test_bigmart_attribution(self, bigmart_space_h):
+        profile = RiskProfile.from_space(bigmart_space_h)
+        assert profile.expected_cracks == pytest.approx(
+            o_estimate(bigmart_space_h).value
+        )
+        assert len(profile) == 6
+        assert profile.n_noncompliant == 0
+
+    def test_most_exposed_first(self, bigmart_space_h):
+        profile = RiskProfile.from_space(bigmart_space_h)
+        probabilities = [risk.crack_probability for risk in profile.items]
+        assert probabilities == sorted(probabilities, reverse=True)
+        # Item 5 has outdegree 2 - the most exposed in BigMart under h.
+        assert profile.items[0].item == 5
+
+    def test_surely_cracked(self, staircase_space):
+        profile = RiskProfile.from_space(staircase_space)
+        assert profile.n_surely_cracked == 1  # only item "a" has O_x = 1
+
+    def test_noncompliant_attribution(self, bigmart_frequencies):
+        belief = uniform_width_belief(bigmart_frequencies, 0.02).replace(
+            {5: (0.8, 0.9)}
+        )
+        space = space_from_frequencies(belief, bigmart_frequencies)
+        profile = RiskProfile.from_space(space)
+        assert profile.n_noncompliant == 1
+        risk5 = next(risk for risk in profile.items if risk.item == 5)
+        assert risk5.crack_probability == 0.0
+        assert not risk5.compliant
+
+    def test_frequency_recorded(self, bigmart_space_h):
+        profile = RiskProfile.from_space(bigmart_space_h)
+        risk5 = next(risk for risk in profile.items if risk.item == 5)
+        assert risk5.frequency == pytest.approx(0.3)
+
+    def test_top_exposed(self, bigmart_space_h):
+        profile = RiskProfile.from_space(bigmart_space_h)
+        top = profile.top_exposed(2)
+        assert len(top) == 2
+        assert top[0].crack_probability >= top[1].crack_probability
+
+    def test_histogram_covers_domain(self, bigmart_space_h):
+        profile = RiskProfile.from_space(bigmart_space_h)
+        histogram = profile.probability_histogram()
+        assert sum(histogram.values()) == 6
+
+    def test_markdown_rendering(self, bigmart_space_h):
+        text = RiskProfile.from_space(bigmart_space_h).to_markdown(top_k=3)
+        assert "# Disclosure risk profile" in text
+        assert "expected cracks" in text
+        assert text.count("\n| ") >= 4  # header + separator + 3 rows
+
+
+class TestToleranceCurve:
+    @pytest.fixture
+    def space(self, rng):
+        freqs = {i: round(float(f), 2) for i, f in enumerate(rng.random(30), start=1)}
+        return space_from_frequencies(uniform_width_belief(freqs, 0.03), freqs)
+
+    def test_monotone(self, space, rng):
+        points = tolerance_curve(space, [0.01, 0.1, 0.3, 0.6, 1.0], rng=rng)
+        alphas = [point.alpha_max for point in points]
+        assert alphas == sorted(alphas)
+
+    def test_extremes(self, space, rng):
+        points = tolerance_curve(space, [0.0, 1.0], rng=rng)
+        assert points[0].alpha_max == pytest.approx(0.0)
+        assert points[1].alpha_max == pytest.approx(1.0)
+
+    def test_agrees_with_alpha_max(self, space):
+        from repro.core import alpha_max
+
+        (point,) = tolerance_curve(space, [0.2], rng=np.random.default_rng(4))
+        direct = alpha_max(space, 0.2, rng=np.random.default_rng(4))
+        assert point.alpha_max == pytest.approx(direct)
+
+    def test_invalid_tolerance(self, space, rng):
+        with pytest.raises(RecipeError):
+            tolerance_curve(space, [1.2], rng=rng)
+
+
+class TestDeltaSensitivity:
+    def test_monotone_nonincreasing(self, bigmart_frequencies):
+        points = delta_sensitivity(bigmart_frequencies, [0.0, 0.05, 0.1, 0.3, 1.0])
+        estimates = [point.estimate for point in points]
+        assert all(a >= b - 1e-12 for a, b in zip(estimates, estimates[1:]))
+
+    def test_endpoints(self, bigmart_frequencies):
+        points = delta_sensitivity(bigmart_frequencies, [0.0, 1.0])
+        # delta = 0: point-valued, OE = g = 3; delta = 1: ignorant, OE = 1.
+        assert points[0].estimate == pytest.approx(3.0)
+        assert points[-1].estimate == pytest.approx(1.0)
+
+    def test_fraction_field(self, bigmart_frequencies):
+        (point,) = delta_sensitivity(bigmart_frequencies, [0.05])
+        assert point.fraction == pytest.approx(point.estimate / 6)

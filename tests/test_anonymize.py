@@ -1,0 +1,96 @@
+"""Unit tests for anonymization mappings and database anonymization."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import AnonymizationMapping, anonymize
+from repro.anonymize.mapping import AnonymizedItem
+from repro.data import TransactionDatabase
+from repro.errors import DataError, DomainMismatchError
+
+
+class TestAnonymizedItem:
+    def test_distinct_from_plain_ints(self):
+        assert AnonymizedItem(1) != 1
+        assert hash(AnonymizedItem(1)) != hash(1)
+
+    def test_equality_and_order(self):
+        assert AnonymizedItem(2) == AnonymizedItem(2)
+        assert AnonymizedItem(1) < AnonymizedItem(2)
+
+    def test_repr_is_primed(self):
+        assert repr(AnonymizedItem(3)) == "3'"
+
+
+class TestAnonymizationMapping:
+    def test_random_is_bijective(self, rng):
+        mapping = AnonymizationMapping.random(range(1, 51), rng=rng)
+        images = {mapping.anonymize_item(i) for i in range(1, 51)}
+        assert len(images) == 50
+        assert images == mapping.anonymized_domain
+
+    def test_roundtrip(self, rng):
+        mapping = AnonymizationMapping.random(["a", "b", "c"], rng=rng)
+        for item in ["a", "b", "c"]:
+            assert mapping.deanonymize_item(mapping.anonymize_item(item)) == item
+
+    def test_identity_labels_deterministic(self):
+        mapping = AnonymizationMapping.identity_labels([10, 20, 30])
+        assert mapping.anonymize_item(10) == AnonymizedItem(1)
+        assert mapping.anonymize_item(30) == AnonymizedItem(3)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DataError):
+            AnonymizationMapping.random([])
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(DataError, match="injective"):
+            AnonymizationMapping.from_dict({1: AnonymizedItem(1), 2: AnonymizedItem(1)})
+
+    def test_non_anonymized_target_rejected(self):
+        with pytest.raises(DataError):
+            AnonymizationMapping.from_dict({1: 2})
+
+    def test_unknown_item_raises(self, rng):
+        mapping = AnonymizationMapping.random([1, 2], rng=rng)
+        with pytest.raises(DomainMismatchError):
+            mapping.anonymize_item(99)
+        with pytest.raises(DomainMismatchError):
+            mapping.deanonymize_item(AnonymizedItem(99))
+
+    def test_count_cracks(self):
+        mapping = AnonymizationMapping.identity_labels([1, 2, 3])
+        correct = {AnonymizedItem(1): 1, AnonymizedItem(2): 2, AnonymizedItem(3): 3}
+        assert mapping.count_cracks(correct) == 3
+        wrong = {AnonymizedItem(1): 2, AnonymizedItem(2): 1, AnonymizedItem(3): 3}
+        assert mapping.count_cracks(wrong) == 1
+
+
+class TestAnonymize:
+    def test_preserves_frequencies(self, bigmart_db, rng):
+        released = anonymize(bigmart_db, rng=rng)
+        original = sorted(bigmart_db.frequencies().values())
+        observed = sorted(released.observed_frequencies().values())
+        assert observed == pytest.approx(original)
+
+    def test_preserves_transaction_sizes(self, bigmart_db, rng):
+        released = anonymize(bigmart_db, rng=rng)
+        assert sorted(len(t) for t in released.database) == sorted(
+            len(t) for t in bigmart_db
+        )
+
+    def test_mapping_applied_uniformly(self, rng):
+        db = TransactionDatabase([[1, 2], [1], [1, 3]])
+        released = anonymize(db, rng=rng)
+        one_prime = released.mapping.anonymize_item(1)
+        assert all(one_prime in t for t in released.database)
+
+    def test_explicit_mapping(self, bigmart_db):
+        mapping = AnonymizationMapping.identity_labels(bigmart_db.domain)
+        released = anonymize(bigmart_db, mapping=mapping)
+        assert released.mapping is mapping
+        assert released.database.frequency(AnonymizedItem(5)) == pytest.approx(0.3)
+
+    def test_domains_are_disjoint(self, bigmart_db, rng):
+        released = anonymize(bigmart_db, rng=rng)
+        assert not (released.database.domain & bigmart_db.domain)

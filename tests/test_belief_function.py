@@ -1,0 +1,97 @@
+"""Unit tests for BeliefFunction."""
+
+import pytest
+
+from repro.beliefs import BeliefFunction, Interval, interval_belief
+from repro.errors import BeliefError, DomainMismatchError
+
+
+class TestConstruction:
+    def test_coercion_of_inputs(self):
+        beta = BeliefFunction({1: Interval(0.1, 0.2), 2: 0.5, 3: (0.3, 0.4)})
+        assert beta[1] == Interval(0.1, 0.2)
+        assert beta[2] == Interval.point(0.5)
+        assert beta[3] == Interval(0.3, 0.4)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(BeliefError):
+            BeliefFunction({})
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(BeliefError):
+            BeliefFunction({1: "wide"})
+
+    def test_missing_item_raises(self):
+        beta = BeliefFunction({1: 0.5})
+        with pytest.raises(BeliefError):
+            beta[2]
+
+    def test_mapping_behaviour(self):
+        beta = BeliefFunction({1: 0.5, 2: 0.4})
+        assert len(beta) == 2
+        assert 1 in beta
+        assert set(beta) == {1, 2}
+        assert dict(beta.items())[2] == Interval.point(0.4)
+
+
+class TestTaxonomy:
+    def test_point_valued(self, belief_f, belief_h):
+        assert belief_f.is_point_valued
+        assert not belief_f.is_interval_valued
+        assert belief_h.is_interval_valued
+        assert not belief_h.is_point_valued
+
+    def test_ignorant(self):
+        beta = BeliefFunction({1: (0, 1), 2: (0, 1)})
+        assert beta.is_ignorant
+        assert not BeliefFunction({1: (0, 1), 2: (0, 0.9)}).is_ignorant
+
+
+class TestCompliancy:
+    def test_fully_compliant(self, belief_h, bigmart_frequencies):
+        assert belief_h.is_compliant_for(bigmart_frequencies)
+        assert belief_h.compliancy(bigmart_frequencies) == 1.0
+
+    def test_figure2_k_is_half_compliant(self, bigmart_frequencies):
+        # Belief k of Figure 2 guesses wrong on items 1-3 (wrong ranges).
+        k = interval_belief(
+            {1: (0.6, 1.0), 2: (0.1, 0.3), 3: (0.0, 0.4), 4: (0.4, 0.6), 5: (0.1, 0.4), 6: 0.5}
+        )
+        assert k.compliancy(bigmart_frequencies) == pytest.approx(0.5)
+        assert k.compliant_items(bigmart_frequencies) == frozenset({4, 5, 6})
+
+    def test_missing_frequencies_raise(self, belief_h):
+        with pytest.raises(DomainMismatchError):
+            belief_h.compliancy({1: 0.5})
+
+
+class TestDerivation:
+    def test_restrict(self, belief_h):
+        restricted = belief_h.restrict([1, 2])
+        assert restricted.domain == frozenset({1, 2})
+        assert restricted[2] == belief_h[2]
+
+    def test_restrict_outside_domain_rejected(self, belief_h):
+        with pytest.raises(DomainMismatchError):
+            belief_h.restrict([99])
+
+    def test_widen(self, belief_h):
+        widened = belief_h.widen(0.05)
+        assert widened[2].low == pytest.approx(0.35)
+        assert widened[2].high == pytest.approx(0.55)
+        assert widened[1] == Interval(0.0, 1.0)  # clamped
+
+    def test_replace(self, belief_h):
+        replaced = belief_h.replace({2: (0.0, 0.1)})
+        assert replaced[2] == Interval(0.0, 0.1)
+        assert replaced[3] == belief_h[3]
+
+    def test_replace_outside_domain_rejected(self, belief_h):
+        with pytest.raises(DomainMismatchError):
+            belief_h.replace({99: 0.5})
+
+    def test_equality_and_hash(self, bigmart_frequencies):
+        from repro.beliefs import point_belief
+
+        assert point_belief(bigmart_frequencies) == point_belief(bigmart_frequencies)
+        assert hash(point_belief(bigmart_frequencies)) == hash(point_belief(bigmart_frequencies))

@@ -1,0 +1,148 @@
+"""Unit tests for mapping spaces (the consistent-mapping bipartite graph)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import AnonymizationMapping, anonymize
+from repro.beliefs import ignorant_belief, point_belief, uniform_width_belief
+from repro.errors import DomainMismatchError, GraphError
+from repro.graph import (
+    ExplicitMappingSpace,
+    FrequencyMappingSpace,
+    space_from_anonymized,
+    space_from_frequencies,
+)
+
+
+class TestFrequencySpaceBigMart:
+    def test_outdegrees_match_paper(self, bigmart_space_h):
+        # Under belief h: O_1=6 (ignorant), O_2=5, O_3=4, O_4=5, O_5=2, O_6=4
+        degrees = dict(zip(bigmart_space_h.items, bigmart_space_h.outdegrees()))
+        assert degrees == {1: 6, 2: 5, 3: 4, 4: 5, 5: 2, 6: 4}
+
+    def test_candidates_agree_with_is_edge(self, bigmart_space_h):
+        space = bigmart_space_h
+        for i in range(space.n):
+            candidates = set(space.candidates(i))
+            for j in range(space.n):
+                assert (j in candidates) == space.is_edge(i, j)
+
+    def test_fully_compliant(self, bigmart_space_h):
+        assert list(bigmart_space_h.compliant_indices()) == list(range(6))
+        assert bigmart_space_h.compliant_mask().all()
+
+    def test_edge_count(self, bigmart_space_h):
+        assert bigmart_space_h.edge_count() == 6 + 5 + 4 + 5 + 2 + 4
+
+    def test_adjacency_matrix_shape_and_content(self, bigmart_space_h):
+        matrix = bigmart_space_h.adjacency_matrix()
+        assert matrix.shape == (6, 6)
+        assert matrix.sum() == bigmart_space_h.edge_count()
+
+    def test_count_cracks(self, bigmart_space_h):
+        truth = [bigmart_space_h.true_partner(i) for i in range(6)]
+        assert bigmart_space_h.count_cracks(truth) == 6
+        rotated = truth[1:] + truth[:1]
+        assert bigmart_space_h.count_cracks(rotated) < 6
+
+    def test_item_index(self, bigmart_space_h):
+        assert bigmart_space_h.items[bigmart_space_h.item_index(5)] == 5
+        with pytest.raises(GraphError):
+            bigmart_space_h.item_index("nope")
+
+
+class TestSpaceConstruction:
+    def test_ignorant_space_is_complete(self, bigmart_frequencies):
+        space = space_from_frequencies(
+            ignorant_belief(bigmart_frequencies), bigmart_frequencies
+        )
+        assert (space.outdegrees() == 6).all()
+
+    def test_point_space_groups(self, bigmart_frequencies):
+        space = space_from_frequencies(
+            point_belief(bigmart_frequencies), bigmart_frequencies
+        )
+        assert sorted(space.outdegrees()) == [1, 1, 4, 4, 4, 4]
+
+    def test_domain_mismatch_rejected(self, bigmart_frequencies):
+        belief = ignorant_belief([1, 2])
+        with pytest.raises(DomainMismatchError):
+            space_from_frequencies(belief, bigmart_frequencies)
+
+    def test_noncompliant_items_detected(self, bigmart_frequencies):
+        belief = uniform_width_belief(bigmart_frequencies, 0.02).replace({5: (0.8, 0.9)})
+        space = space_from_frequencies(belief, bigmart_frequencies)
+        item5 = space.item_index(5)
+        assert not space.has_true_edge(item5)
+        assert item5 not in set(space.compliant_indices())
+
+    def test_from_anonymized_pairing_is_truth(self, bigmart_db, bigmart_frequencies, rng):
+        released = anonymize(bigmart_db, rng=rng)
+        belief = point_belief(bigmart_frequencies)
+        space = space_from_anonymized(belief, released)
+        for i, item in enumerate(space.items):
+            true_anon = space.anonymized[space.true_partner(i)]
+            assert released.mapping.deanonymize_item(true_anon) == item
+
+    def test_from_anonymized_equals_from_frequencies_outdegrees(
+        self, bigmart_db, bigmart_frequencies, belief_h, rng
+    ):
+        released = anonymize(bigmart_db, rng=rng)
+        via_db = space_from_anonymized(belief_h, released)
+        via_freq = space_from_frequencies(belief_h, bigmart_frequencies)
+        assert sorted(via_db.outdegrees()) == sorted(via_freq.outdegrees())
+
+
+class TestExplicitSpace:
+    def test_basic(self, staircase_space):
+        assert staircase_space.outdegree(0) == 1
+        assert staircase_space.outdegree(3) == 4
+        assert staircase_space.is_edge(2, 1)
+        assert not staircase_space.is_edge(0, 3)
+
+    def test_invalid_adjacency_rejected(self):
+        with pytest.raises(GraphError):
+            ExplicitMappingSpace(
+                items=(1,), anonymized=(2,), adjacency=[[5]], true_partner_of=[0]
+            )
+
+    def test_pairing_must_be_permutation(self):
+        with pytest.raises(GraphError):
+            ExplicitMappingSpace(
+                items=(1, 2),
+                anonymized=("a", "b"),
+                adjacency=[[0], [1]],
+                true_partner_of=[0, 0],
+            )
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(GraphError):
+            ExplicitMappingSpace(
+                items=(1, 2), anonymized=("a",), adjacency=[[0]], true_partner_of=[0]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            ExplicitMappingSpace(items=(), anonymized=(), adjacency=[], true_partner_of=[])
+
+
+class TestFrequencySpaceValidation:
+    def test_pairing_permutation_enforced(self):
+        with pytest.raises(GraphError):
+            FrequencyMappingSpace(
+                items=(1, 2),
+                anonymized=("a", "b"),
+                observed=[0.5, 0.4],
+                intervals=[(0, 1), (0, 1)],
+                true_partner_of=[1, 1],
+            )
+
+    def test_alignment_enforced(self):
+        with pytest.raises(GraphError):
+            FrequencyMappingSpace(
+                items=(1, 2),
+                anonymized=("a", "b"),
+                observed=[0.5],
+                intervals=[(0, 1), (0, 1)],
+                true_partner_of=[0, 1],
+            )

@@ -1,0 +1,112 @@
+"""Unit tests for belief-function builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beliefs import (
+    alpha_compliant_belief,
+    from_sample_belief,
+    ignorant_belief,
+    interval_belief,
+    point_belief,
+    uniform_width_belief,
+)
+from repro.beliefs.interval import FULL_INTERVAL
+from repro.data import FrequencyProfile
+from repro.errors import BeliefError
+
+
+class TestSimpleBuilders:
+    def test_ignorant(self):
+        beta = ignorant_belief([1, 2, 3])
+        assert beta.is_ignorant
+        assert beta[2] == FULL_INTERVAL
+
+    def test_point_is_compliant(self, bigmart_frequencies):
+        beta = point_belief(bigmart_frequencies)
+        assert beta.is_point_valued
+        assert beta.is_compliant_for(bigmart_frequencies)
+
+    def test_interval_passthrough(self):
+        beta = interval_belief({1: (0.1, 0.3)})
+        assert beta[1].low == 0.1
+
+    def test_uniform_width_compliant(self, bigmart_frequencies):
+        beta = uniform_width_belief(bigmart_frequencies, 0.05)
+        assert beta.is_compliant_for(bigmart_frequencies)
+        assert beta[5].low == pytest.approx(0.25)
+        assert beta[5].high == pytest.approx(0.35)
+
+
+class TestAlphaCompliant:
+    def test_target_alpha_achieved(self, bigmart_frequencies, rng):
+        beta = alpha_compliant_belief(bigmart_frequencies, alpha=0.5, delta=0.05, rng=rng)
+        assert beta.compliancy(bigmart_frequencies) == pytest.approx(0.5)
+
+    def test_alpha_one_is_fully_compliant(self, bigmart_frequencies, rng):
+        beta = alpha_compliant_belief(bigmart_frequencies, alpha=1.0, delta=0.05, rng=rng)
+        assert beta.is_compliant_for(bigmart_frequencies)
+
+    def test_alpha_zero_is_fully_noncompliant(self, bigmart_frequencies, rng):
+        beta = alpha_compliant_belief(bigmart_frequencies, alpha=0.0, delta=0.05, rng=rng)
+        assert beta.compliancy(bigmart_frequencies) == 0.0
+
+    def test_explicit_noncompliant_items(self, bigmart_frequencies, rng):
+        beta = alpha_compliant_belief(
+            bigmart_frequencies, alpha=1.0, delta=0.05, rng=rng, noncompliant_items=[1, 2]
+        )
+        assert beta.compliant_items(bigmart_frequencies) == frozenset({3, 4, 5, 6})
+
+    def test_explicit_items_outside_domain_rejected(self, bigmart_frequencies, rng):
+        with pytest.raises(BeliefError):
+            alpha_compliant_belief(
+                bigmart_frequencies, alpha=1.0, delta=0.05, rng=rng, noncompliant_items=[99]
+            )
+
+    def test_invalid_alpha_rejected(self, bigmart_frequencies, rng):
+        with pytest.raises(BeliefError):
+            alpha_compliant_belief(bigmart_frequencies, alpha=1.5, delta=0.05, rng=rng)
+
+    def test_wrong_guesses_still_hit_other_frequencies(self, bigmart_frequencies, rng):
+        # Non-compliant intervals should still admit some observed
+        # frequency so the mapping space stays non-degenerate.
+        beta = alpha_compliant_belief(bigmart_frequencies, alpha=0.0, delta=0.02, rng=rng)
+        observed = set(bigmart_frequencies.values())
+        for item in beta:
+            interval = beta[item]
+            assert any(f in interval for f in observed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=st.floats(min_value=0.0, max_value=1.0), seed=st.integers(0, 2**31))
+    def test_compliancy_close_to_alpha(self, alpha, seed):
+        frequencies = {i: i / 20 for i in range(1, 11)}
+        rng = np.random.default_rng(seed)
+        beta = alpha_compliant_belief(frequencies, alpha=alpha, delta=0.01, rng=rng)
+        achieved = beta.compliancy(frequencies)
+        assert abs(achieved - alpha) <= 0.5 / 10 + 1e-9  # rounding to whole items
+
+
+class TestFromSample:
+    def test_width_is_sampled_median_gap(self, rng):
+        profile = FrequencyProfile({1: 10, 2: 20, 3: 40}, 100)
+        beta = from_sample_belief(profile)
+        # gaps 0.1 and 0.2 -> median delta 0.15; item 3 is not clamped
+        assert beta[3].width == pytest.approx(0.3)
+        assert beta[1].low == 0.0  # clamped at the bottom
+
+    def test_mean_gap_variant(self):
+        profile = FrequencyProfile({1: 10, 2: 20, 3: 50}, 100)
+        beta = from_sample_belief(profile, use_mean_gap=True)
+        assert beta[3].width == pytest.approx(0.4)  # mean gap 0.2, width 2*delta
+
+    def test_explicit_delta(self):
+        profile = FrequencyProfile({1: 10, 2: 10}, 100)
+        beta = from_sample_belief(profile, delta=0.05)
+        assert beta[1].low == pytest.approx(0.05)
+
+    def test_single_group_requires_delta(self):
+        profile = FrequencyProfile({1: 10, 2: 10}, 100)
+        with pytest.raises(BeliefError):
+            from_sample_belief(profile)

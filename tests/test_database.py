@@ -1,0 +1,119 @@
+"""Unit tests for the transaction-database substrate."""
+
+import pytest
+
+from repro.data import FrequencyProfile, TransactionDatabase
+from repro.data.database import FrequencySource
+from repro.errors import EmptyDatabaseError, InvalidTransactionError
+
+
+class TestTransactionDatabase:
+    def test_basic_construction(self):
+        db = TransactionDatabase([[1, 2], [2, 3]])
+        assert len(db) == 2
+        assert db.domain == frozenset({1, 2, 3})
+
+    def test_transactions_are_frozensets(self):
+        db = TransactionDatabase([[1, 1, 2]])
+        assert db[0] == frozenset({1, 2})
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(InvalidTransactionError, match="empty"):
+            TransactionDatabase([[1], []])
+
+    def test_explicit_domain_allows_zero_frequency_items(self):
+        db = TransactionDatabase([[1]], domain=[1, 2, 3])
+        assert db.frequency(2) == 0.0
+        assert db.domain == frozenset({1, 2, 3})
+
+    def test_items_outside_domain_rejected(self):
+        with pytest.raises(InvalidTransactionError, match="outside"):
+            TransactionDatabase([[1, 9]], domain=[1, 2])
+
+    def test_frequency_matches_definition(self):
+        db = TransactionDatabase([[1, 2], [2], [2, 3], [3]])
+        assert db.frequency(2) == 0.75
+        assert db.frequency(1) == 0.25
+        assert db.frequency(3) == 0.5
+
+    def test_frequencies_covers_whole_domain(self):
+        db = TransactionDatabase([[1]], domain=[1, 2])
+        assert db.frequencies() == {1: 1.0, 2: 0.0}
+
+    def test_item_count(self):
+        db = TransactionDatabase([[1, 2], [2]])
+        assert db.item_count(2) == 2
+        assert db.item_count(99) == 0
+
+    def test_iteration_preserves_order(self):
+        rows = [[1], [2], [1, 2]]
+        db = TransactionDatabase(rows)
+        assert list(db) == [frozenset(r) for r in rows]
+
+    def test_equality_and_hash(self):
+        a = TransactionDatabase([[1, 2], [2]])
+        b = TransactionDatabase([[2, 1], [2]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TransactionDatabase([[1, 2]])
+
+    def test_repr_mentions_sizes(self):
+        db = TransactionDatabase([[1, 2], [2]])
+        assert "n_transactions=2" in repr(db)
+
+    def test_restrict_projects_and_drops_empty(self):
+        db = TransactionDatabase([[1, 2], [3], [2, 3]])
+        restricted = db.restrict([1, 2])
+        assert len(restricted) == 2
+        assert restricted.domain == frozenset({1, 2})
+
+    def test_to_profile_roundtrips_counts(self):
+        db = TransactionDatabase([[1, 2], [2], [3]], domain=[1, 2, 3, 4])
+        profile = db.to_profile()
+        assert profile.item_count(2) == 2
+        assert profile.item_count(4) == 0
+        assert profile.n_transactions == 3
+        assert profile.frequencies() == db.frequencies()
+
+    def test_satisfies_frequency_source_protocol(self):
+        assert isinstance(TransactionDatabase([[1]]), FrequencySource)
+
+    def test_string_items_supported(self):
+        db = TransactionDatabase([["milk", "bread"], ["bread"]])
+        assert db.frequency("bread") == 1.0
+
+
+class TestFrequencyProfile:
+    def test_basic(self):
+        profile = FrequencyProfile({1: 3, 2: 1}, 4)
+        assert profile.frequency(1) == 0.75
+        assert profile.domain == frozenset({1, 2})
+        assert len(profile) == 2
+
+    def test_zero_transactions_rejected(self):
+        with pytest.raises(EmptyDatabaseError):
+            FrequencyProfile({1: 0}, 0)
+
+    def test_count_bounds_validated(self):
+        with pytest.raises(InvalidTransactionError):
+            FrequencyProfile({1: 5}, 4)
+        with pytest.raises(InvalidTransactionError):
+            FrequencyProfile({1: -1}, 4)
+
+    def test_from_frequencies_rounds(self):
+        profile = FrequencyProfile.from_frequencies({1: 0.5, 2: 0.249}, 1000)
+        assert profile.item_count(1) == 500
+        assert profile.item_count(2) == 249
+
+    def test_counts_returns_copy(self):
+        profile = FrequencyProfile({1: 1}, 2)
+        counts = profile.counts
+        counts[1] = 99
+        assert profile.item_count(1) == 1
+
+    def test_equality(self):
+        assert FrequencyProfile({1: 1}, 2) == FrequencyProfile({1: 1}, 2)
+        assert FrequencyProfile({1: 1}, 2) != FrequencyProfile({1: 1}, 3)
+
+    def test_satisfies_frequency_source_protocol(self):
+        assert isinstance(FrequencyProfile({1: 1}, 2), FrequencySource)

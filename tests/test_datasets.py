@@ -1,0 +1,166 @@
+"""Unit tests for synthetic generators and calibrated benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.data import FrequencyGroups, FrequencyProfile
+from repro.datasets import (
+    BENCHMARK_NAMES,
+    BENCHMARK_SPECS,
+    database_from_profile,
+    generate_benchmark_profile,
+    load_benchmark,
+    load_benchmark_database,
+    profile_from_group_counts,
+    random_database,
+    zipf_profile,
+)
+from repro.datasets.benchmarks import BenchmarkSpec
+from repro.errors import DataError
+
+
+class TestProfileFromGroupCounts:
+    def test_exact_structure(self, rng):
+        profile = profile_from_group_counts([10, 20, 30], [2, 1, 3], 100, rng=rng)
+        groups = FrequencyGroups.from_source(profile)
+        assert groups.frequencies_sorted == (0.1, 0.2, 0.3)
+        assert groups.sizes == (2, 1, 3)
+
+    def test_duplicate_counts_rejected(self, rng):
+        with pytest.raises(DataError):
+            profile_from_group_counts([10, 10], [1, 1], 100, rng=rng)
+
+    def test_counts_must_fit(self, rng):
+        with pytest.raises(DataError):
+            profile_from_group_counts([101], [1], 100, rng=rng)
+
+    def test_item_ids_shuffled_but_stable_domain(self, rng):
+        profile = profile_from_group_counts([10, 20], [3, 3], 100, rng=rng)
+        assert profile.domain == frozenset(range(1, 7))
+
+
+class TestDatabaseFromProfile:
+    def test_counts_realized_exactly(self, rng):
+        profile = FrequencyProfile({1: 5, 2: 9, 3: 2}, 10)
+        db = database_from_profile(profile, rng=rng)
+        assert db.n_transactions == 10
+        for item in profile.domain:
+            assert db.item_count(item) == profile.item_count(item)
+
+    def test_no_empty_transactions(self, rng):
+        profile = FrequencyProfile({1: 6, 2: 6}, 10)
+        db = database_from_profile(profile, rng=rng)
+        assert all(len(t) >= 1 for t in db)
+
+    def test_too_sparse_rejected(self, rng):
+        profile = FrequencyProfile({1: 2}, 10)
+        with pytest.raises(DataError):
+            database_from_profile(profile, rng=rng)
+
+    def test_occurrence_guard(self, rng):
+        profile = FrequencyProfile({1: 5, 2: 5}, 5)
+        with pytest.raises(DataError, match="occurrences"):
+            database_from_profile(profile, rng=rng, max_occurrences=3)
+
+
+class TestRandomDatabase:
+    def test_shape(self, rng):
+        db = random_database(10, 50, density=0.3, rng=rng)
+        assert db.n_transactions == 50
+        assert db.domain == frozenset(range(1, 11))
+        assert all(t for t in db)
+
+    def test_invalid_density(self, rng):
+        with pytest.raises(DataError):
+            random_database(10, 50, density=0.0, rng=rng)
+
+
+class TestZipfProfile:
+    def test_monotone_rank_frequencies(self, rng):
+        profile = zipf_profile(20, 1000, rng=rng)
+        counts = sorted(profile.counts.values(), reverse=True)
+        assert counts[0] == 800  # max_frequency * m
+        assert counts[-1] >= 1
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+class TestCalibratedBenchmarks:
+    def test_names(self):
+        assert set(BENCHMARK_NAMES) == {
+            "accidents",
+            "chess",
+            "connect",
+            "mushroom",
+            "pumsb",
+            "retail",
+        }
+
+    @pytest.mark.parametrize("name", ["chess", "mushroom", "connect"])
+    def test_exact_discrete_statistics(self, name):
+        dataset = load_benchmark(name)
+        spec = dataset.spec
+        groups = FrequencyGroups.from_source(dataset.profile)
+        assert len(dataset.profile.domain) == spec.n_items
+        assert dataset.profile.n_transactions == spec.n_transactions
+        assert len(groups) == spec.n_groups
+        assert groups.n_singletons == spec.n_singletons
+
+    @pytest.mark.parametrize("name", ["chess", "mushroom", "connect", "accidents"])
+    def test_gap_statistics_close_to_figure9(self, name):
+        dataset = load_benchmark(name)
+        spec = dataset.spec
+        stats = FrequencyGroups.from_source(dataset.profile).gap_statistics()
+        assert stats.median == pytest.approx(spec.gap_median, rel=0.25)
+        assert stats.mean == pytest.approx(spec.gap_mean, rel=0.1)
+        assert stats.maximum == pytest.approx(spec.gap_max, rel=0.05)
+
+    def test_deterministic_by_default(self):
+        a = load_benchmark("chess")
+        b = load_benchmark("chess")
+        assert a.profile == b.profile
+
+    def test_seed_override_changes_instance(self):
+        a = load_benchmark("chess", seed=1)
+        b = load_benchmark("chess", seed=2)
+        assert a.profile != b.profile
+
+    def test_unknown_name(self):
+        with pytest.raises(DataError, match="known"):
+            load_benchmark("does-not-exist")
+
+    def test_materialized_database(self):
+        db = load_benchmark_database("chess")
+        spec = BENCHMARK_SPECS["chess"]
+        assert db.n_transactions == spec.n_transactions
+        assert len(db.domain) == spec.n_items
+
+    def test_spec_validation(self):
+        with pytest.raises(DataError):
+            BenchmarkSpec(
+                name="bad",
+                n_items=10,
+                n_transactions=100,
+                n_groups=11,
+                n_singletons=0,
+                gap_mean=0.1,
+                gap_median=0.1,
+                gap_min=0.1,
+                gap_max=0.1,
+            )
+        with pytest.raises(DataError):
+            BenchmarkSpec(
+                name="bad",
+                n_items=10,
+                n_transactions=100,
+                n_groups=9,
+                n_singletons=9,
+                gap_mean=0.1,
+                gap_median=0.1,
+                gap_min=0.1,
+                gap_max=0.1,
+            )  # one non-singleton group would hold a single item
+
+    def test_generate_with_fresh_rng(self, rng):
+        spec = BENCHMARK_SPECS["chess"]
+        profile = generate_benchmark_profile(spec, rng)
+        assert len(profile.domain) == spec.n_items

@@ -1,0 +1,122 @@
+"""Unit tests for the simulator convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.beliefs import uniform_width_belief
+from repro.errors import SimulationError
+from repro.graph import space_from_frequencies
+from repro.simulation import (
+    autocorrelation_time,
+    diagnose_chains,
+    effective_sample_size,
+    potential_scale_reduction,
+)
+
+
+class TestPotentialScaleReduction:
+    def test_identical_chains_give_one(self, rng):
+        chain = rng.normal(size=200)
+        # Identical chains: between-chain variance 0, R-hat -> sqrt((L-1)/L).
+        assert potential_scale_reduction([chain, chain]) == pytest.approx(1.0, abs=0.01)
+
+    def test_iid_chains_close_to_one(self, rng):
+        chains = rng.normal(size=(4, 500))
+        assert potential_scale_reduction(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_shifted_chains_flagged(self, rng):
+        a = rng.normal(0.0, 1.0, size=300)
+        b = rng.normal(5.0, 1.0, size=300)
+        assert potential_scale_reduction([a, b]) > 1.5
+
+    def test_constant_chains(self):
+        assert potential_scale_reduction([[2.0, 2.0], [2.0, 2.0]]) == 1.0
+        assert potential_scale_reduction([[1.0, 1.0], [2.0, 2.0]]) == float("inf")
+
+    def test_input_validation(self):
+        with pytest.raises(SimulationError):
+            potential_scale_reduction([[1.0, 2.0]])
+
+
+class TestAutocorrelationTime:
+    def test_iid_series_near_one(self, rng):
+        series = rng.normal(size=2000)
+        assert autocorrelation_time(series) == pytest.approx(1.0, abs=0.3)
+
+    def test_correlated_series_larger(self, rng):
+        # AR(1) with strong persistence.
+        noise = rng.normal(size=2000)
+        series = np.zeros(2000)
+        for t in range(1, 2000):
+            series[t] = 0.9 * series[t - 1] + noise[t]
+        assert autocorrelation_time(series) > 5.0
+
+    def test_constant_series(self):
+        assert autocorrelation_time([3.0] * 10) == 1.0
+
+    def test_too_short(self):
+        with pytest.raises(SimulationError):
+            autocorrelation_time([1.0, 2.0])
+
+    def test_effective_sample_size(self, rng):
+        series = rng.normal(size=1000)
+        assert effective_sample_size(series) == pytest.approx(1000, rel=0.35)
+
+
+class TestDiagnoseChains:
+    @pytest.fixture
+    def space(self, rng):
+        freqs = {i: round(float(f), 2) for i, f in enumerate(rng.random(25), start=1)}
+        return space_from_frequencies(uniform_width_belief(freqs, 0.05), freqs)
+
+    def test_gibbs_converges_on_small_space(self, space):
+        report = diagnose_chains(
+            space,
+            n_chains=4,
+            n_samples=150,
+            method="gibbs",
+            rng=np.random.default_rng(1),
+        )
+        assert report.converged(r_hat_threshold=1.2)
+        assert report.n_chains == 4
+        assert "R-hat" in report.summary()
+
+    def test_swap_converges_on_small_space(self, space):
+        report = diagnose_chains(
+            space,
+            n_chains=4,
+            n_samples=150,
+            sweeps_per_sample=2,
+            method="swap",
+            rng=np.random.default_rng(2),
+        )
+        assert report.converged(r_hat_threshold=1.3)
+
+    def test_rao_blackwell_observable(self, space):
+        report = diagnose_chains(
+            space,
+            n_chains=2,
+            n_samples=50,
+            method="gibbs",
+            observable="rao_blackwell",
+            rng=np.random.default_rng(3),
+        )
+        assert report.effective_samples > 0
+
+    def test_validation(self, space, rng):
+        with pytest.raises(SimulationError):
+            diagnose_chains(space, n_chains=1, rng=rng)
+        with pytest.raises(SimulationError):
+            diagnose_chains(space, method="other", rng=rng)
+        with pytest.raises(SimulationError):
+            diagnose_chains(space, observable="other", rng=rng)
+
+    def test_explicit_space_gibbs_rejected(self, two_blocks_space, rng):
+        with pytest.raises(SimulationError):
+            diagnose_chains(two_blocks_space, method="gibbs", rng=rng)
+
+    def test_explicit_space_swap_allowed(self, two_blocks_space, rng):
+        report = diagnose_chains(
+            two_blocks_space, n_chains=2, n_samples=50, method="swap", rng=rng
+        )
+        assert report.n_samples == 50

@@ -1,0 +1,19 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.data.database
+import repro.datasets.quest
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.data.database, repro.datasets.quest],
+    ids=lambda module: module.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the docstring examples actually ran

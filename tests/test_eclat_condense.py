@@ -1,0 +1,120 @@
+"""Unit tests for ECLAT and the closed/maximal condensations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import TransactionDatabase
+from repro.datasets import random_database
+from repro.errors import DataError
+from repro.mining import (
+    apriori,
+    closed_itemsets,
+    eclat,
+    fp_growth,
+    maximal_itemsets,
+    vertical_representation,
+)
+
+
+@pytest.fixture
+def basket_db():
+    return TransactionDatabase(
+        [
+            ["bread", "milk"],
+            ["bread", "diapers", "beer", "eggs"],
+            ["milk", "diapers", "beer", "cola"],
+            ["bread", "milk", "diapers", "beer"],
+            ["bread", "milk", "diapers", "cola"],
+        ]
+    )
+
+
+def as_set(itemsets):
+    return {(fi.items, round(fi.support, 9)) for fi in itemsets}
+
+
+class TestVerticalRepresentation:
+    def test_tidsets(self, basket_db):
+        tidsets = vertical_representation(basket_db)
+        assert tidsets["bread"] == frozenset({0, 1, 3, 4})
+        assert tidsets["cola"] == frozenset({2, 4})
+
+    def test_tidset_sizes_are_counts(self, basket_db):
+        tidsets = vertical_representation(basket_db)
+        for item in basket_db.domain:
+            assert len(tidsets[item]) == basket_db.item_count(item)
+
+
+class TestEclat:
+    def test_agrees_with_apriori(self, basket_db):
+        for min_support in [0.2, 0.4, 0.6, 0.8]:
+            assert as_set(eclat(basket_db, min_support)) == as_set(
+                apriori(basket_db, min_support)
+            )
+
+    def test_max_size(self, basket_db):
+        result = eclat(basket_db, 0.2, max_size=2)
+        assert all(len(fi) <= 2 for fi in result)
+
+    def test_invalid_support(self, basket_db):
+        with pytest.raises(DataError):
+            eclat(basket_db, 0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_three_miners_agree_on_random_data(self, seed):
+        rng = np.random.default_rng(seed)
+        db = random_database(8, 40, density=0.35, rng=rng)
+        reference = as_set(apriori(db, 0.25))
+        assert as_set(eclat(db, 0.25)) == reference
+        assert as_set(fp_growth(db, 0.25)) == reference
+
+
+class TestClosedItemsets:
+    def test_closed_subset_of_all(self, basket_db):
+        everything = apriori(basket_db, 0.2)
+        closed = closed_itemsets(everything)
+        assert as_set(closed) <= as_set(everything)
+
+    def test_non_closed_dropped(self, basket_db):
+        # {beer} has support 0.6 and so does {beer, diapers}: beer alone
+        # is not closed.
+        closed = {fi.items for fi in closed_itemsets(apriori(basket_db, 0.2))}
+        assert frozenset({"beer"}) not in closed
+        assert frozenset({"beer", "diapers"}) in closed
+
+    def test_supports_recoverable(self, basket_db):
+        # Every frequent itemset's support equals the max support of a
+        # closed superset — the defining property of the condensation.
+        everything = apriori(basket_db, 0.2)
+        closed = closed_itemsets(everything)
+        for itemset in everything:
+            candidates = [
+                c.support for c in closed if itemset.items <= c.items
+            ]
+            assert max(candidates) == pytest.approx(itemset.support)
+
+
+class TestMaximalItemsets:
+    def test_maximal_subset_of_closed(self, basket_db):
+        everything = apriori(basket_db, 0.2)
+        closed = {fi.items for fi in closed_itemsets(everything)}
+        maximal = {fi.items for fi in maximal_itemsets(everything)}
+        assert maximal <= closed
+
+    def test_no_frequent_strict_superset(self, basket_db):
+        everything = apriori(basket_db, 0.2)
+        frequent = {fi.items for fi in everything}
+        for maximal in maximal_itemsets(everything):
+            assert not any(
+                maximal.items < other for other in frequent
+            )
+
+    def test_boundary_recoverable(self, basket_db):
+        # An itemset is frequent iff it is a subset of some maximal set.
+        everything = apriori(basket_db, 0.2)
+        maximal = [fi.items for fi in maximal_itemsets(everything)]
+        for itemset in everything:
+            assert any(itemset.items <= m for m in maximal)

@@ -1,0 +1,86 @@
+"""Unit tests for the Lemma 1-4 closed forms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.core import (
+    expected_cracks_ignorant,
+    expected_cracks_point_valued,
+    expected_cracks_point_valued_subset,
+)
+from repro.data import FrequencyGroups
+from repro.errors import DataError, DomainMismatchError
+
+
+class TestLemma1And2:
+    def test_ignorant_is_one(self):
+        for n in [1, 5, 1000]:
+            assert expected_cracks_ignorant(n) == 1.0
+
+    def test_subset_of_interest(self):
+        assert expected_cracks_ignorant(10, 3) == pytest.approx(0.3)
+        assert expected_cracks_ignorant(10, 10) == pytest.approx(1.0)
+        assert expected_cracks_ignorant(10, 0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            expected_cracks_ignorant(0)
+        with pytest.raises(DataError):
+            expected_cracks_ignorant(5, 6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 7), seed=st.integers(0, 10_000))
+    def test_lemma1_matches_enumeration(self, n, seed):
+        # Average fixed points over all permutations is exactly 1.
+        from itertools import permutations
+
+        total = hits = 0
+        for perm in permutations(range(n)):
+            total += 1
+            hits += sum(1 for i in range(n) if perm[i] == i)
+        assert hits / total == pytest.approx(expected_cracks_ignorant(n))
+
+
+class TestLemma3:
+    def test_bigmart_g(self, bigmart_frequencies):
+        assert expected_cracks_point_valued(bigmart_frequencies) == 3.0
+
+    def test_all_distinct_gives_n(self):
+        freqs = {i: i / 10 for i in range(1, 6)}
+        assert expected_cracks_point_valued(freqs) == 5.0
+
+    def test_all_equal_gives_one(self):
+        assert expected_cracks_point_valued({1: 0.5, 2: 0.5, 3: 0.5}) == 1.0
+
+    def test_accepts_frequency_groups(self, bigmart_frequencies):
+        groups = FrequencyGroups(bigmart_frequencies)
+        assert expected_cracks_point_valued(groups) == 3.0
+
+
+class TestLemma4:
+    def test_bigmart_subsets(self, bigmart_frequencies):
+        # Group sizes: {5}:1 at 0.3, {2}:1 at 0.4, {1,3,4,6}:4 at 0.5.
+        assert expected_cracks_point_valued_subset(
+            bigmart_frequencies, [5]
+        ) == pytest.approx(1.0)
+        assert expected_cracks_point_valued_subset(
+            bigmart_frequencies, [1, 3]
+        ) == pytest.approx(0.5)
+        assert expected_cracks_point_valued_subset(
+            bigmart_frequencies, [2, 5, 1]
+        ) == pytest.approx(2.25)
+
+    def test_full_domain_reduces_to_lemma3(self, bigmart_frequencies):
+        assert expected_cracks_point_valued_subset(
+            bigmart_frequencies, bigmart_frequencies
+        ) == pytest.approx(expected_cracks_point_valued(bigmart_frequencies))
+
+    def test_empty_interest(self, bigmart_frequencies):
+        assert expected_cracks_point_valued_subset(bigmart_frequencies, []) == 0.0
+
+    def test_unknown_interest_item_rejected(self, bigmart_frequencies):
+        with pytest.raises(DomainMismatchError):
+            expected_cracks_point_valued_subset(bigmart_frequencies, [99])

@@ -1,0 +1,113 @@
+"""Tests for chain matching counts and the exact chain sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChainSpec,
+    chain_expected_cracks,
+    chain_matching_count,
+    space_from_chain,
+)
+from repro.core.chain import _upward_flows
+from repro.errors import NotAChainError, SimulationError
+from repro.graph.permanent import count_matchings
+from repro.simulation import sample_chain_cracks, simulate_chain_expected_cracks
+
+
+CHAINS = [
+    ChainSpec((5, 3), (3, 2), (3,)),
+    ChainSpec((2, 1), (1, 0), (2,)),
+    ChainSpec((3, 3, 2), (1, 1, 1), (3, 2)),
+    ChainSpec((4,), (4,), ()),
+    ChainSpec((2, 2, 2), (2, 2, 2), (0, 0)),
+]
+
+
+class TestUpwardFlows:
+    def test_figure_4a(self):
+        spec = ChainSpec((5, 3), (3, 2), (3,))
+        assert _upward_flows(spec) == (1,)
+
+    def test_point_valued_chain_has_zero_flow(self):
+        spec = ChainSpec((2, 2, 2), (2, 2, 2), (0, 0))
+        assert _upward_flows(spec) == (0, 0)
+
+    def test_flows_telescoping(self):
+        spec = ChainSpec((3, 3, 2), (1, 1, 1), (3, 2))
+        flows = _upward_flows(spec)
+        # d_i of the lemma equals the forced upward flow.
+        assert flows == spec.correct_to_upper()
+
+
+class TestChainMatchingCount:
+    @pytest.mark.parametrize("spec", CHAINS)
+    def test_matches_permanent(self, spec):
+        space = space_from_chain(spec)
+        assert chain_matching_count(spec) == pytest.approx(count_matchings(space))
+
+    def test_single_group(self):
+        import math
+
+        spec = ChainSpec((5,), (5,), ())
+        assert chain_matching_count(spec) == math.factorial(5)
+
+
+class TestExactChainSampler:
+    @pytest.mark.parametrize("spec", CHAINS[:3])
+    def test_mean_matches_lemma6(self, spec):
+        space = space_from_chain(spec)
+        mean, stderr = simulate_chain_expected_cracks(
+            space, 3000, rng=np.random.default_rng(5)
+        )
+        assert mean == pytest.approx(
+            chain_expected_cracks(spec), abs=max(4 * stderr, 0.02)
+        )
+
+    def test_raw_and_rao_blackwell_agree(self):
+        spec = ChainSpec((5, 3), (3, 2), (3,))
+        space = space_from_chain(spec)
+        raw_mean, raw_se = simulate_chain_expected_cracks(
+            space, 3000, rng=np.random.default_rng(6), rao_blackwell=False
+        )
+        rb_mean, rb_se = simulate_chain_expected_cracks(
+            space, 3000, rng=np.random.default_rng(6)
+        )
+        assert raw_mean == pytest.approx(rb_mean, abs=4 * (raw_se + rb_se))
+        assert rb_se <= raw_se  # Rao-Blackwellization can only help
+
+    def test_samples_are_bounded(self):
+        spec = ChainSpec((3, 3), (2, 2), (2,))
+        space = space_from_chain(spec)
+        samples = sample_chain_cracks(
+            space, 500, rng=np.random.default_rng(7), rao_blackwell=False
+        )
+        assert ((0 <= samples) & (samples <= space.n)).all()
+
+    def test_non_chain_rejected(self, bigmart_space_h):
+        with pytest.raises(NotAChainError):
+            sample_chain_cracks(bigmart_space_h, 10, rng=np.random.default_rng(0))
+
+    def test_invalid_sample_count(self):
+        spec = ChainSpec((2, 2), (1, 1), (2,))
+        space = space_from_chain(spec)
+        with pytest.raises(SimulationError):
+            sample_chain_cracks(space, 0)
+
+    def test_agrees_with_mcmc(self):
+        from repro.simulation import simulate_expected_cracks
+
+        spec = ChainSpec((4, 4, 3), (2, 1, 2), (3, 3))
+        space = space_from_chain(spec)
+        exact_mean, exact_se = simulate_chain_expected_cracks(
+            space, 3000, rng=np.random.default_rng(8)
+        )
+        mcmc = simulate_expected_cracks(
+            space,
+            runs=4,
+            samples_per_run=400,
+            rng=np.random.default_rng(9),
+            method="gibbs",
+            rao_blackwell=True,
+        )
+        assert exact_mean == pytest.approx(mcmc.mean, abs=max(4 * mcmc.std, 0.05))

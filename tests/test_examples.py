@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are the library's living documentation; these tests execute
+them in-process (with the CWD pointed at a temp directory so artifact
+files land there) and assert on their key printed claims.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, monkeypatch, tmp_path, capsys, argv=None) -> str:
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(sys, "argv", [name] + list(argv or []))
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, tmp_path, capsys):
+    out = run_example("quickstart.py", monkeypatch, tmp_path, capsys)
+    assert "hacker with no knowledge" in out
+    assert "decision:" in out
+
+
+def test_mining_as_a_service(monkeypatch, tmp_path, capsys):
+    out = run_example("mining_as_a_service.py", monkeypatch, tmp_path, capsys)
+    assert "provider returns" in out
+    assert "most exposed products" in out
+
+
+def test_consortium_pooling(monkeypatch, tmp_path, capsys):
+    out = run_example("consortium_pooling.py", monkeypatch, tmp_path, capsys)
+    assert "Similarity-by-Sampling curve" in out
+    assert "alpha" in out
+
+
+def test_beyond_frequent_sets(monkeypatch, tmp_path, capsys):
+    out = run_example("beyond_frequent_sets.py", monkeypatch, tmp_path, capsys)
+    assert "identified with certainty: Wei" in out
+    assert "forced set" in out
+
+
+def test_protected_release(monkeypatch, tmp_path, capsys):
+    out = run_example("protected_release.py", monkeypatch, tmp_path, capsys)
+    assert "protected release:" in out
+    assert (tmp_path / "protected_assessment.json").exists()
+
+
+def test_red_team(monkeypatch, tmp_path, capsys):
+    out = run_example("red_team.py", monkeypatch, tmp_path, capsys)
+    assert "posterior for anonymized item" in out
+    assert "achieved" in out
+
+
+@pytest.mark.slow
+def test_benchmark_tour(monkeypatch, tmp_path, capsys):
+    out = run_example(
+        "benchmark_tour.py", monkeypatch, tmp_path, capsys, argv=["chess"]
+    )
+    assert "alpha sweep" in out

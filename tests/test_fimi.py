@@ -1,0 +1,62 @@
+"""Unit tests for FIMI .dat reading and writing."""
+
+import pytest
+
+from repro.data import TransactionDatabase, read_fimi, write_fimi
+from repro.errors import FormatError
+
+
+def test_roundtrip(tmp_path):
+    db = TransactionDatabase([[3, 1, 2], [5], [2, 5]])
+    path = tmp_path / "data.dat"
+    write_fimi(db, path)
+    loaded = read_fimi(path)
+    assert loaded == db
+
+
+def test_file_is_sorted_per_line(tmp_path):
+    db = TransactionDatabase([[3, 1, 2]])
+    path = tmp_path / "data.dat"
+    write_fimi(db, path)
+    assert path.read_text() == "1 2 3\n"
+
+
+def test_gzip_roundtrip(tmp_path):
+    db = TransactionDatabase([[1, 2], [3]])
+    path = tmp_path / "data.dat.gz"
+    write_fimi(db, path)
+    assert read_fimi(path) == db
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "data.dat"
+    path.write_text("1 2\n\n3\n")
+    db = read_fimi(path)
+    assert len(db) == 2
+
+
+def test_non_integer_token_rejected_with_line_number(tmp_path):
+    path = tmp_path / "bad.dat"
+    path.write_text("1 2\nx 3\n")
+    with pytest.raises(FormatError, match=":2"):
+        read_fimi(path)
+
+
+def test_duplicate_items_in_line_collapse(tmp_path):
+    path = tmp_path / "data.dat"
+    path.write_text("7 7 7\n")
+    db = read_fimi(path)
+    assert db[0] == frozenset({7})
+
+
+def test_explicit_domain_passed_through(tmp_path):
+    path = tmp_path / "data.dat"
+    path.write_text("1\n")
+    db = read_fimi(path, domain=[1, 2, 3])
+    assert db.domain == frozenset({1, 2, 3})
+
+
+def test_write_rejects_non_integer_items(tmp_path):
+    db = TransactionDatabase([["milk"]])
+    with pytest.raises(FormatError, match="integer"):
+        write_fimi(db, tmp_path / "out.dat")

@@ -1,0 +1,90 @@
+"""Unit tests for frequency groups and gap statistics."""
+
+import pytest
+
+from repro.data import FrequencyGroups, TransactionDatabase, frequency_table
+from repro.data.frequency import GapStatistics
+from repro.errors import DataError
+
+
+class TestFrequencyGroups:
+    def test_bigmart_groups(self, bigmart_frequencies):
+        groups = FrequencyGroups(bigmart_frequencies)
+        assert len(groups) == 3
+        assert groups.frequencies_sorted == (0.3, 0.4, 0.5)
+        assert groups.sizes == (1, 1, 4)
+
+    def test_group_membership(self, bigmart_frequencies):
+        groups = FrequencyGroups(bigmart_frequencies)
+        assert groups.group_index(5) == 0
+        assert groups.group_index(2) == 1
+        assert groups.group_frequency(1) == 0.5
+
+    def test_unknown_item_raises(self, bigmart_frequencies):
+        groups = FrequencyGroups(bigmart_frequencies)
+        with pytest.raises(DataError):
+            groups.group_index(99)
+
+    def test_singleton_count(self, bigmart_frequencies):
+        groups = FrequencyGroups(bigmart_frequencies)
+        assert groups.n_singletons == 2
+
+    def test_gaps(self, bigmart_frequencies):
+        groups = FrequencyGroups(bigmart_frequencies)
+        assert groups.gaps() == pytest.approx((0.1, 0.1))
+
+    def test_gap_statistics(self):
+        groups = FrequencyGroups({1: 0.1, 2: 0.2, 3: 0.5, 4: 0.6})
+        stats = groups.gap_statistics()
+        assert stats.minimum == pytest.approx(0.1)
+        assert stats.maximum == pytest.approx(0.3)
+        assert stats.median == pytest.approx(0.1)
+        assert stats.mean == pytest.approx(0.5 / 3)
+
+    def test_median_gap_even_count(self):
+        groups = FrequencyGroups({1: 0.0, 2: 0.1, 3: 0.4})
+        # gaps 0.1 and 0.3 -> median is their average
+        assert groups.median_gap() == pytest.approx(0.2)
+
+    def test_single_group_has_no_gaps(self):
+        groups = FrequencyGroups({1: 0.5, 2: 0.5})
+        assert groups.gaps() == ()
+        with pytest.raises(DataError):
+            groups.gap_statistics()
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DataError):
+            FrequencyGroups({})
+
+    def test_out_of_range_frequency_rejected(self):
+        with pytest.raises(DataError):
+            FrequencyGroups({1: 1.5})
+
+    def test_from_source(self, bigmart_db, bigmart_frequencies):
+        groups = FrequencyGroups.from_source(bigmart_db)
+        assert groups.frequencies_sorted == (0.3, 0.4, 0.5)
+
+    def test_groups_partition_the_domain(self, bigmart_frequencies):
+        groups = FrequencyGroups(bigmart_frequencies)
+        seen = [item for group in groups.groups for item in group]
+        assert sorted(seen) == sorted(bigmart_frequencies)
+
+
+class TestGapStatistics:
+    def test_from_gaps_single(self):
+        stats = GapStatistics.from_gaps([0.25])
+        assert stats == GapStatistics(0.25, 0.25, 0.25, 0.25)
+
+    def test_from_gaps_empty_rejected(self):
+        with pytest.raises(DataError):
+            GapStatistics.from_gaps([])
+
+    def test_median_is_order_independent(self):
+        a = GapStatistics.from_gaps([0.3, 0.1, 0.2])
+        b = GapStatistics.from_gaps([0.1, 0.2, 0.3])
+        assert a == b
+        assert a.median == pytest.approx(0.2)
+
+
+def test_frequency_table_matches_db(bigmart_db, bigmart_frequencies):
+    assert frequency_table(bigmart_db) == pytest.approx(bigmart_frequencies)

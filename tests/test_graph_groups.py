@@ -1,0 +1,74 @@
+"""Unit tests for observed-group and belief-group structures."""
+
+import pytest
+
+from repro.graph.groups import BeliefGroupPartition, ObservedGroups
+
+
+class TestObservedGroups:
+    def test_structure(self):
+        groups = ObservedGroups([0.5, 0.4, 0.5, 0.5, 0.3, 0.5])
+        assert len(groups) == 3
+        assert groups.freqs == (0.3, 0.4, 0.5)
+        assert tuple(groups.counts) == (1, 1, 4)
+        assert tuple(groups.prefix) == (0, 1, 2, 6)
+
+    def test_members_and_group_of(self):
+        groups = ObservedGroups([0.5, 0.4, 0.3])
+        assert groups.members[0] == (2,)
+        assert groups.group_of[0] == 2
+
+    def test_group_range(self):
+        groups = ObservedGroups([0.1, 0.2, 0.3, 0.4])
+        assert groups.group_range(0.15, 0.35) == (1, 3)
+        assert groups.group_range(0.2, 0.2) == (1, 2)
+        assert groups.group_range(0.45, 0.9) == (4, 4)  # empty run
+
+    def test_count_in_range_is_outdegree(self):
+        groups = ObservedGroups([0.5, 0.4, 0.5, 0.5, 0.3, 0.5])
+        assert groups.count_in_range(0.4, 0.5) == 5
+        assert groups.count_in_range(0.0, 1.0) == 6
+        assert groups.count_in_range(0.31, 0.39) == 0
+
+    def test_closed_endpoints(self):
+        groups = ObservedGroups([0.3, 0.5])
+        assert groups.count_in_range(0.3, 0.5) == 2
+        assert groups.count_in_range(0.3, 0.3) == 1
+
+    def test_group_index_of_frequency(self):
+        groups = ObservedGroups([0.3, 0.5])
+        assert groups.group_index_of_frequency(0.5) == 1
+        assert groups.group_index_of_frequency(0.4) is None
+
+
+class TestBeliefGroupPartition:
+    def test_partition_merges_equal_runs(self):
+        partition = BeliefGroupPartition([(0, 1), (0, 1), (1, 3), (0, 2)])
+        assert len(partition) == 3
+        runs = {group.group_range: group.items for group in partition}
+        assert runs[(0, 1)] == (0, 1)
+
+    def test_is_chain_true(self):
+        # exclusive on 0, shared 0-1, exclusive on 1: a chain of length 2
+        partition = BeliefGroupPartition([(0, 1), (0, 2), (1, 2)])
+        assert partition.is_chain(2)
+
+    def test_is_chain_rejects_wide_groups(self):
+        partition = BeliefGroupPartition([(0, 3), (0, 1), (1, 2), (2, 3)])
+        assert not partition.is_chain(3)
+
+    def test_is_chain_requires_coverage(self):
+        partition = BeliefGroupPartition([(0, 1), (0, 2)])
+        assert not partition.is_chain(3)  # group 2 unreachable
+
+    def test_bigmart_belief_groups(self, bigmart_space_h):
+        # Paper, Section 3.2: under belief h, items 2 and 4 share a group
+        # even though their intervals differ.
+        partition = bigmart_space_h.belief_groups()
+        by_items = {
+            tuple(bigmart_space_h.items[i] for i in group.items): group.group_range
+            for group in partition
+        }
+        assert by_items[(2, 4)] == by_items.get((2, 4))
+        grouped_items = sorted(by_items)
+        assert (2, 4) in grouped_items

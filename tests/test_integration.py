@@ -1,0 +1,123 @@
+"""Integration tests: full owner/hacker workflows across modules."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import anonymize
+from repro.beliefs import from_sample_belief, point_belief, uniform_width_belief
+from repro.core import alpha_max, o_estimate
+from repro.data import FrequencyGroups, TransactionDatabase, read_fimi, sample_transactions, write_fimi
+from repro.datasets import load_benchmark, random_database
+from repro.graph import space_from_anonymized, space_from_frequencies
+from repro.mining import apriori
+from repro.recipe import Decision, assess_risk, similarity_by_sampling
+from repro.simulation import simulate_expected_cracks
+
+
+class TestOwnerWorkflow:
+    """The full Figure 8 pipeline on a synthetic mid-size database."""
+
+    @pytest.fixture
+    def owner_db(self, rng):
+        return random_database(30, 400, density=0.25, rng=rng)
+
+    def test_assess_then_simulate(self, owner_db, rng):
+        report = assess_risk(owner_db, tolerance=0.2, rng=rng)
+        frequencies = owner_db.frequencies()
+        belief = uniform_width_belief(
+            frequencies, report.delta if report.delta is not None else 0.01
+        )
+        space = space_from_frequencies(belief, frequencies)
+        estimate = o_estimate(space)
+        simulated = simulate_expected_cracks(
+            space, runs=3, samples_per_run=150, rng=rng
+        )
+        assert abs(estimate.value - simulated.mean) <= max(4 * simulated.std, 0.75)
+
+    def test_recipe_stages_are_consistent(self, owner_db, rng):
+        report = assess_risk(owner_db, tolerance=0.2, rng=rng)
+        if report.decision is Decision.ALPHA_BOUND:
+            assert report.interval_estimate.value > 0.2 * report.n_items
+        if report.decision is Decision.DISCLOSE_POINT_VALUED:
+            assert report.g <= 0.2 * report.n_items
+
+
+class TestHackerWorkflow:
+    """A hacker with a data sample attacks a released database."""
+
+    def test_sample_belief_attack(self, rng):
+        owner_db = random_database(25, 600, density=0.3, rng=rng)
+        released = anonymize(owner_db, rng=rng)
+
+        # The hacker holds 30% of similar data and builds a belief from it.
+        sample = sample_transactions(owner_db, 0.3, rng=rng)
+        belief = from_sample_belief(sample)
+
+        space = space_from_anonymized(belief, released)
+        estimate = o_estimate(space)
+        compliancy = belief.compliancy(owner_db.frequencies())
+        assert 0.0 <= compliancy <= 1.0
+        # Items the belief guesses wrong can never be cracked: the OE sums
+        # over at most the compliant items.
+        assert estimate.n_compliant == round(compliancy * 25)
+
+    def test_similarity_curve_guides_owner(self, rng):
+        owner_db = random_database(25, 600, density=0.3, rng=rng)
+        points = similarity_by_sampling(owner_db, [0.2, 0.8], n_samples=4, rng=rng)
+        assert len(points) == 2
+
+
+class TestMiningServiceScenario:
+    """'Mining as a service': the provider mines anonymized data."""
+
+    def test_patterns_survive_anonymization(self, rng):
+        owner_db = random_database(12, 200, density=0.4, rng=rng)
+        released = anonymize(owner_db, rng=rng)
+        original = apriori(owner_db, 0.3)
+        mined = apriori(released.database, 0.3)
+        # Same number of patterns at every support level, same supports.
+        assert sorted(fi.support for fi in original) == pytest.approx(
+            sorted(fi.support for fi in mined)
+        )
+
+
+class TestFimiRoundtripWorkflow:
+    def test_assess_a_fimi_file(self, tmp_path, rng):
+        db = random_database(15, 300, density=0.3, rng=rng)
+        path = tmp_path / "owner.dat"
+        write_fimi(db, path)
+        loaded = read_fimi(path)
+        report = assess_risk(loaded, tolerance=0.5, rng=rng)
+        assert report.n_items == 15
+
+
+class TestBenchmarkWorkflow:
+    def test_chess_full_pipeline(self):
+        dataset = load_benchmark("chess")
+        profile = dataset.profile
+        frequencies = profile.frequencies()
+        groups = FrequencyGroups(frequencies)
+        belief = uniform_width_belief(frequencies, groups.median_gap())
+        space = space_from_frequencies(belief, frequencies)
+        estimate = o_estimate(space)
+        simulated = simulate_expected_cracks(
+            space, runs=3, samples_per_run=100, rng=np.random.default_rng(8)
+        )
+        # Figure 10's headline claim at reduced budget: OE within a few
+        # standard deviations of the simulated estimate.
+        assert abs(estimate.value - simulated.mean) <= max(
+            4 * simulated.std, 0.05 * space.n
+        )
+
+    def test_alpha_max_matches_recipe(self):
+        dataset = load_benchmark("mushroom")
+        report = assess_risk(
+            dataset.profile, tolerance=0.1, rng=np.random.default_rng(0)
+        )
+        assert report.decision is Decision.ALPHA_BOUND
+        frequencies = dataset.profile.frequencies()
+        groups = FrequencyGroups(frequencies)
+        belief = uniform_width_belief(frequencies, groups.median_gap())
+        space = space_from_frequencies(belief, frequencies)
+        direct = alpha_max(space, 0.1, rng=np.random.default_rng(0))
+        assert report.alpha_max == pytest.approx(direct, abs=0.1)

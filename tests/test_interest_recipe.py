@@ -1,0 +1,87 @@
+"""Tests for items-of-interest support across the recipe (Lemmas 2 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.beliefs import uniform_width_belief
+from repro.core import alpha_max, o_estimate
+from repro.data import FrequencyProfile
+from repro.errors import RecipeError
+from repro.graph import space_from_frequencies
+from repro.recipe import Decision, assess_risk
+
+
+@pytest.fixture
+def mixed_profile():
+    """Half the items are singletons (exposed), half share one count."""
+    counts = {i: 40 * i for i in range(1, 11)}  # distinct: exposed
+    counts.update({i: 7 for i in range(11, 21)})  # one shared count: camouflaged
+    return FrequencyProfile(counts, 1000)
+
+
+class TestAssessRiskWithInterest:
+    def test_camouflaged_interest_discloses(self, mixed_profile):
+        # The owner only cares about the camouflaged items: Lemma 4 gives
+        # one expected crack among 10 items of interest.
+        report = assess_risk(
+            mixed_profile, tolerance=0.2, interest=range(11, 21),
+            rng=np.random.default_rng(0),
+        )
+        assert report.decision is Decision.DISCLOSE_POINT_VALUED
+
+    def test_exposed_interest_does_not(self, mixed_profile):
+        report = assess_risk(
+            mixed_profile, tolerance=0.2, interest=range(1, 11),
+            rng=np.random.default_rng(0),
+        )
+        assert report.decision is Decision.ALPHA_BOUND
+        assert report.alpha_max < 1.0
+
+    def test_full_interest_matches_default(self, mixed_profile):
+        default = assess_risk(mixed_profile, 0.1, rng=np.random.default_rng(1))
+        explicit = assess_risk(
+            mixed_profile, 0.1, interest=mixed_profile.domain,
+            rng=np.random.default_rng(1),
+        )
+        assert default.decision == explicit.decision
+        if default.alpha_max is not None:
+            assert explicit.alpha_max == pytest.approx(default.alpha_max, abs=0.05)
+
+    def test_empty_interest_rejected(self, mixed_profile):
+        with pytest.raises(RecipeError):
+            assess_risk(mixed_profile, 0.1, interest=[])
+
+
+class TestAlphaMaxWithInterest:
+    def test_interest_budget_is_subset_relative(self, mixed_profile):
+        frequencies = mixed_profile.frequencies()
+        from repro.data import FrequencyGroups
+
+        delta = FrequencyGroups(frequencies).median_gap()
+        space = space_from_frequencies(
+            uniform_width_belief(frequencies, delta), frequencies
+        )
+        exposed = list(range(1, 11))
+        camouflaged = list(range(11, 21))
+        rng = np.random.default_rng(2)
+        alpha_exposed = alpha_max(space, 0.2, rng=rng, interest=exposed)
+        rng = np.random.default_rng(2)
+        alpha_camouflaged = alpha_max(space, 0.2, rng=rng, interest=camouflaged)
+        assert alpha_camouflaged > alpha_exposed
+
+    def test_interest_oe_consistency(self, mixed_profile):
+        frequencies = mixed_profile.frequencies()
+        space = space_from_frequencies(
+            uniform_width_belief(frequencies, 0.001), frequencies
+        )
+        subset = list(range(1, 6))
+        estimate = o_estimate(space, interest=subset)
+        full = o_estimate(space)
+        assert estimate.value <= full.value
+        # With everything compliant, alpha = 1 reproduces the subset OE.
+        from repro.core.alpha import compliance_prefix_sums
+
+        prefix = compliance_prefix_sums(
+            space, runs=3, rng=np.random.default_rng(3), interest=subset
+        )
+        assert prefix[:, -1] == pytest.approx(np.full(3, estimate.value))

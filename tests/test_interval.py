@@ -1,0 +1,90 @@
+"""Unit tests for belief intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.beliefs import Interval
+from repro.beliefs.interval import FULL_INTERVAL
+from repro.errors import InvalidIntervalError
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_basic(self):
+        interval = Interval(0.2, 0.7)
+        assert interval.low == 0.2
+        assert interval.high == 0.7
+        assert interval.width == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("low,high", [(-0.1, 0.5), (0.5, 1.1), (0.7, 0.2)])
+    def test_invalid_bounds(self, low, high):
+        with pytest.raises(InvalidIntervalError):
+            Interval(low, high)
+
+    def test_point(self):
+        interval = Interval.point(0.4)
+        assert interval.is_point
+        assert interval.width == 0.0
+
+    def test_around_clamps(self):
+        assert Interval.around(0.05, 0.2) == Interval(0.0, 0.25)
+        assert Interval.around(0.95, 0.2) == Interval(0.75, 1.0)
+
+    def test_around_negative_delta_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.around(0.5, -0.1)
+
+
+class TestPredicates:
+    def test_contains_endpoints(self):
+        interval = Interval(0.2, 0.7)
+        assert 0.2 in interval
+        assert 0.7 in interval
+        assert 0.1 not in interval
+
+    def test_contains_interval_matches_definition_7(self):
+        assert Interval(0.0, 1.0).contains_interval(Interval(0.2, 0.3))
+        assert not Interval(0.2, 0.3).contains_interval(Interval(0.0, 1.0))
+        assert Interval(0.2, 0.3).contains_interval(Interval(0.2, 0.3))
+
+    def test_overlaps(self):
+        assert Interval(0.0, 0.5).overlaps(Interval(0.5, 1.0))  # closed ends touch
+        assert not Interval(0.0, 0.4).overlaps(Interval(0.5, 1.0))
+
+    def test_full_interval_constant(self):
+        assert FULL_INTERVAL == Interval(0.0, 1.0)
+        assert 0.33 in FULL_INTERVAL
+
+    def test_ordering_is_lexicographic(self):
+        assert Interval(0.1, 0.2) < Interval(0.2, 0.3)
+
+    def test_repr(self):
+        assert "point" in repr(Interval.point(0.5))
+        assert "Interval(0.1, 0.2)" == repr(Interval(0.1, 0.2))
+
+
+class TestIntervalProperties:
+    @given(unit, unit, unit)
+    def test_around_always_contains_center(self, center, delta, probe):
+        interval = Interval.around(center, delta)
+        assert center in interval
+
+    @given(unit, unit)
+    def test_containment_is_reflexive(self, a, b):
+        low, high = min(a, b), max(a, b)
+        interval = Interval(low, high)
+        assert interval.contains_interval(interval)
+
+    @given(unit, unit, unit, unit)
+    def test_containment_implies_overlap(self, a, b, c, d):
+        outer = Interval(min(a, b), max(a, b))
+        inner = Interval(min(c, d), max(c, d))
+        if outer.contains_interval(inner):
+            assert outer.overlaps(inner)
+
+    @given(unit, unit)
+    def test_width_nonnegative(self, a, b):
+        interval = Interval(min(a, b), max(a, b))
+        assert interval.width >= 0.0

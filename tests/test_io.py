@@ -1,0 +1,97 @@
+"""Unit tests for JSON persistence of workflow artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.beliefs import interval_belief, point_belief, uniform_width_belief
+from repro.data import FrequencyProfile
+from repro.errors import FormatError
+from repro.io import (
+    assessment_from_json,
+    assessment_to_json,
+    belief_from_json,
+    belief_to_json,
+    load_json,
+    profile_from_json,
+    profile_to_json,
+    save_json,
+)
+from repro.recipe import assess_risk
+
+
+class TestBeliefRoundtrip:
+    def test_interval_belief(self, belief_h):
+        assert belief_from_json(belief_to_json(belief_h)) == belief_h
+
+    def test_point_belief(self, bigmart_frequencies):
+        belief = point_belief(bigmart_frequencies)
+        assert belief_from_json(belief_to_json(belief)) == belief
+
+    def test_string_items(self):
+        belief = interval_belief({"milk": (0.1, 0.4), "bread": 0.3})
+        assert belief_from_json(belief_to_json(belief)) == belief
+
+    def test_int_and_string_items_distinguished(self):
+        belief = interval_belief({1: 0.5, "1": 0.3})
+        restored = belief_from_json(belief_to_json(belief))
+        assert restored[1].low == 0.5
+        assert restored["1"].low == 0.3
+
+    def test_unserializable_item_rejected(self):
+        belief = interval_belief({(1, 2): 0.5})
+        with pytest.raises(FormatError):
+            belief_to_json(belief)
+
+    def test_wrong_payload_type(self):
+        with pytest.raises(FormatError):
+            belief_from_json({"type": "something_else"})
+
+    def test_malformed_entry(self):
+        with pytest.raises(FormatError):
+            belief_from_json({"type": "belief_function", "intervals": [[1, 2]]})
+
+
+class TestProfileRoundtrip:
+    def test_roundtrip(self):
+        profile = FrequencyProfile({1: 3, 2: 7, "odd": 1}, 10)
+        assert profile_from_json(profile_to_json(profile)) == profile
+
+    def test_wrong_type(self):
+        with pytest.raises(FormatError):
+            profile_from_json({"type": "belief_function"})
+
+
+class TestAssessmentRoundtrip:
+    def test_disclose_assessment(self):
+        profile = FrequencyProfile({i: 10 for i in range(1, 11)}, 100)
+        report = assess_risk(profile, tolerance=0.5, delta=0.01)
+        restored = assessment_from_json(assessment_to_json(report))
+        assert restored == report
+
+    def test_alpha_assessment(self):
+        profile = FrequencyProfile({i: 40 * i for i in range(1, 21)}, 1000)
+        report = assess_risk(profile, tolerance=0.1, rng=np.random.default_rng(0))
+        restored = assessment_from_json(assessment_to_json(report))
+        assert restored.decision == report.decision
+        assert restored.alpha_max == report.alpha_max
+        assert restored.interval_estimate == report.interval_estimate
+
+    def test_unknown_decision_rejected(self):
+        with pytest.raises(FormatError):
+            assessment_from_json(
+                {"type": "risk_assessment", "decision": "PANIC", "tolerance": 0.1,
+                 "n_items": 5, "g": 3}
+            )
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, belief_h):
+        path = tmp_path / "belief.json"
+        save_json(belief_to_json(belief_h), path)
+        assert belief_from_json(load_json(path)) == belief_h
+
+    def test_invalid_json_reported(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(FormatError, match="invalid JSON"):
+            load_json(path)

@@ -1,0 +1,108 @@
+"""Unit tests for cross-release linkage (the consortium hazard)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import anonymize
+from repro.core import o_estimate
+from repro.data import TransactionDatabase
+from repro.datasets import random_database
+from repro.errors import DataError, DomainMismatchError
+from repro.extensions import build_linkage_space, linkage_risk, split_release
+
+
+class TestSplitRelease:
+    def test_halves_partition_transactions(self, rng):
+        db = random_database(10, 100, density=0.4, rng=rng)
+        release_a, release_b = split_release(db, fraction=0.3, rng=rng)
+        assert release_a.database.n_transactions == 30
+        assert release_b.database.n_transactions == 70
+
+    def test_independent_mappings(self, rng):
+        db = random_database(10, 100, density=0.4, rng=rng)
+        release_a, release_b = split_release(db, rng=rng)
+        same = sum(
+            1
+            for x in db.domain
+            if release_a.mapping.anonymize_item(x) == release_b.mapping.anonymize_item(x)
+        )
+        assert same < 10  # two independent random renamings rarely agree
+
+    def test_domains_preserved(self, rng):
+        db = random_database(10, 100, density=0.4, rng=rng)
+        release_a, release_b = split_release(db, rng=rng)
+        assert release_a.mapping.original_domain == db.domain
+        assert release_b.mapping.original_domain == db.domain
+
+    def test_invalid_fraction(self, rng):
+        db = random_database(5, 50, density=0.4, rng=rng)
+        with pytest.raises(DataError):
+            split_release(db, fraction=1.0, rng=rng)
+
+
+class TestBuildLinkageSpace:
+    def test_identical_releases_link_perfectly(self, rng):
+        # Same transactions, different renamings: frequencies match
+        # exactly, so every item links up to group camouflage.
+        db = random_database(12, 300, density=0.35, rng=rng)
+        release_a = anonymize(db, rng=rng)
+        release_b = anonymize(db, rng=rng)
+        space = build_linkage_space(release_a, release_b, width=1e-9)
+        assert space.compliant_mask().all()
+        estimate = o_estimate(space)
+        from repro.core import expected_cracks_point_valued
+
+        assert estimate.value == pytest.approx(
+            expected_cracks_point_valued(db.frequencies())
+        )
+
+    def test_true_pairing_links_common_origin(self, rng):
+        db = random_database(8, 200, density=0.4, rng=rng)
+        release_a, release_b = split_release(db, rng=rng)
+        space = build_linkage_space(release_a, release_b)
+        for i, a in enumerate(space.items):
+            x = release_a.mapping.deanonymize_item(a)
+            b = space.anonymized[space.true_partner(i)]
+            assert release_b.mapping.deanonymize_item(b) == x
+
+    def test_wide_z_keeps_compliancy_high(self, rng):
+        db = random_database(15, 600, density=0.3, rng=rng)
+        release_a, release_b = split_release(db, rng=rng)
+        space = build_linkage_space(release_a, release_b, z=4.0)
+        # With a 4-sigma band almost every true pair stays compatible.
+        assert space.compliant_mask().mean() > 0.85
+
+    def test_domain_mismatch_rejected(self, rng):
+        db_a = random_database(5, 50, density=0.4, rng=rng)
+        db_b = random_database(6, 50, density=0.4, rng=rng)
+        with pytest.raises(DomainMismatchError):
+            build_linkage_space(anonymize(db_a, rng=rng), anonymize(db_b, rng=rng))
+
+
+class TestLinkageRisk:
+    def test_distinct_frequencies_are_linkable(self, rng):
+        # Well-separated counts survive the split: high linkage.
+        transactions = []
+        for t in range(600):
+            row = {i for i in range(1, 11) if t % (i + 2) == 0}
+            transactions.append(row or {1})
+        db = TransactionDatabase(transactions, domain=range(1, 11))
+        result = linkage_risk(db, rng=np.random.default_rng(8))
+        # The top (well-separated) items remain linkable; the crowded
+        # long tail keeps some camouflage even here.
+        assert result.fraction > 0.2
+
+    def test_flat_frequencies_resist_linkage(self, rng):
+        # Everything at the same frequency: camouflage survives splitting.
+        db = random_database(30, 400, density=0.5, rng=rng)
+        uniform = TransactionDatabase(
+            [set(range(1, 31)) for _ in range(50)], domain=range(1, 31)
+        )
+        result = linkage_risk(uniform, rng=np.random.default_rng(9))
+        assert result.value <= 1.5  # one expected crack, as in Lemma 1
+
+    def test_returns_oestimate_result(self, rng):
+        db = random_database(10, 200, density=0.4, rng=rng)
+        result = linkage_risk(db, rng=rng)
+        assert 0.0 <= result.fraction <= 1.0
+        assert result.n == 10

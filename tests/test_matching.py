@@ -1,0 +1,149 @@
+"""Unit tests for matchings: Hopcroft-Karp, interval greedy, feasibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beliefs import ignorant_belief, point_belief, uniform_width_belief
+from repro.errors import InfeasibleMatchingError
+from repro.graph import (
+    ExplicitMappingSpace,
+    group_feasible_matching,
+    has_perfect_matching,
+    hopcroft_karp,
+    maximum_matching,
+    space_from_frequencies,
+)
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        match_left, match_right, size = hopcroft_karp([[0, 1], [0], [1, 2]], 3)
+        assert size == 3
+        assert sorted(match_left) == [0, 1, 2]
+        assert all(match_right[match_left[u]] == u for u in range(3))
+
+    def test_maximum_but_not_perfect(self):
+        # Both left nodes only reach right node 0.
+        _, _, size = hopcroft_karp([[0], [0]], 2)
+        assert size == 1
+
+    def test_empty_adjacency(self):
+        match_left, _, size = hopcroft_karp([[], [0]], 1)
+        assert size == 1
+        assert match_left[0] == -1
+
+    def test_random_graphs_against_bruteforce(self, rng):
+        # Any permutation's correct hits form a matching, and any matching
+        # extends to a permutation, so the maximum matching size equals
+        # the best hit count over all permutations.
+        from itertools import permutations
+
+        for _ in range(20):
+            n = 5
+            adjacency = [
+                [j for j in range(n) if rng.random() < 0.4] for _ in range(n)
+            ]
+            _, _, size = hopcroft_karp(adjacency, n)
+            best = max(
+                sum(1 for u in range(n) if perm[u] in adjacency[u])
+                for perm in permutations(range(n))
+            )
+            assert size == best
+
+
+class TestGroupFeasibleMatching:
+    def test_bigmart_seeds_with_truth(self, bigmart_space_h):
+        match = group_feasible_matching(bigmart_space_h)
+        assert bigmart_space_h.count_cracks(match) == bigmart_space_h.n
+
+    def test_matching_is_consistent_and_perfect(self, bigmart_space_h):
+        match = group_feasible_matching(bigmart_space_h, prefer_truth=False)
+        assert sorted(match) == list(range(bigmart_space_h.n))
+        for i, j in enumerate(match):
+            assert bigmart_space_h.is_edge(i, int(j))
+
+    def test_infeasible_raises(self, bigmart_frequencies):
+        belief = uniform_width_belief(bigmart_frequencies, 0.01).replace(
+            {5: (0.9, 1.0)}  # item 5's interval admits nothing observed
+        )
+        space = space_from_frequencies(belief, bigmart_frequencies)
+        with pytest.raises(InfeasibleMatchingError):
+            group_feasible_matching(space)
+        assert not has_perfect_matching(space)
+
+    def test_capacity_infeasibility_detected(self):
+        # Two items both *only* admit the single anonymized item at 0.5.
+        freqs = {1: 0.5, 2: 0.3}
+        belief = point_belief({1: 0.5, 2: 0.5})
+        space = space_from_frequencies(belief, freqs)
+        assert not has_perfect_matching(space)
+        with pytest.raises(InfeasibleMatchingError):
+            group_feasible_matching(space)
+
+    def test_explicit_space_path(self, two_blocks_space):
+        match = group_feasible_matching(two_blocks_space)
+        assert sorted(match) == [0, 1, 2, 3]
+        for i, j in enumerate(match):
+            assert two_blocks_space.is_edge(i, int(j))
+
+    def test_explicit_infeasible(self):
+        space = ExplicitMappingSpace(
+            items=(1, 2),
+            anonymized=("a", "b"),
+            adjacency=[[0], [0]],
+            true_partner_of=[0, 1],
+        )
+        with pytest.raises(InfeasibleMatchingError):
+            group_feasible_matching(space)
+        assert not has_perfect_matching(space)
+
+
+class TestMaximumMatching:
+    def test_perfect_when_possible(self, bigmart_space_h):
+        match = maximum_matching(bigmart_space_h)
+        assert (match >= 0).all()
+
+    def test_partial_when_infeasible(self):
+        space = ExplicitMappingSpace(
+            items=(1, 2, 3),
+            anonymized=("a", "b", "c"),
+            adjacency=[[0], [0], [0, 1, 2]],
+            true_partner_of=[0, 1, 2],
+        )
+        match = maximum_matching(space)
+        assert int((match >= 0).sum()) == 2
+
+
+class TestMatchingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.integers(2, 12), width=st.floats(0.0, 0.3))
+    def test_uniform_width_always_feasible(self, seed, n, width):
+        # Compliant interval beliefs always admit the identity matching.
+        rng = np.random.default_rng(seed)
+        freqs = {i: float(f) for i, f in enumerate(rng.random(n), start=1)}
+        belief = uniform_width_belief(freqs, width)
+        space = space_from_frequencies(belief, freqs)
+        assert has_perfect_matching(space)
+        match = group_feasible_matching(space)
+        assert sorted(match) == list(range(n))
+        for i, j in enumerate(match):
+            assert space.is_edge(i, int(j))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.integers(2, 10))
+    def test_greedy_agrees_with_hopcroft_karp_on_feasibility(self, seed, n):
+        rng = np.random.default_rng(seed)
+        freqs = {i: float(rng.integers(1, 5)) / 5 for i in range(1, n + 1)}
+        deltas = rng.random(n) * 0.3
+        belief = {
+            item: (max(0.0, f - d), min(1.0, f + d))
+            for (item, f), d in zip(freqs.items(), deltas)
+        }
+        from repro.beliefs import interval_belief
+
+        space = space_from_frequencies(interval_belief(belief), freqs)
+        adjacency = [list(space.candidates(i)) for i in range(space.n)]
+        _, _, size = hopcroft_karp(adjacency, space.n)
+        assert has_perfect_matching(space) == (size == space.n)

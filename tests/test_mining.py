@@ -1,0 +1,158 @@
+"""Unit tests for the frequent-set mining substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import anonymize
+from repro.data import TransactionDatabase
+from repro.datasets import random_database
+from repro.errors import DataError
+from repro.mining import (
+    FrequentItemset,
+    apriori,
+    fp_growth,
+    itemsets_equal_up_to_renaming,
+    support,
+)
+
+
+@pytest.fixture
+def classic_db():
+    """The textbook 5-transaction basket example."""
+    return TransactionDatabase(
+        [
+            ["bread", "milk"],
+            ["bread", "diapers", "beer", "eggs"],
+            ["milk", "diapers", "beer", "cola"],
+            ["bread", "milk", "diapers", "beer"],
+            ["bread", "milk", "diapers", "cola"],
+        ]
+    )
+
+
+def as_set(itemsets):
+    return {(fi.items, round(fi.support, 6)) for fi in itemsets}
+
+
+class TestSupport:
+    def test_singleton(self, classic_db):
+        assert support(classic_db, ["bread"]) == pytest.approx(0.8)
+
+    def test_pair(self, classic_db):
+        assert support(classic_db, ["beer", "diapers"]) == pytest.approx(0.6)
+
+    def test_absent_itemset(self, classic_db):
+        assert support(classic_db, ["beer", "eggs", "cola"]) == 0.0
+
+    def test_empty_rejected(self, classic_db):
+        with pytest.raises(DataError):
+            support(classic_db, [])
+
+
+class TestApriori:
+    def test_classic_result(self, classic_db):
+        result = apriori(classic_db, min_support=0.6)
+        expected = {
+            frozenset({"bread"}): 0.8,
+            frozenset({"milk"}): 0.8,
+            frozenset({"diapers"}): 0.8,
+            frozenset({"beer"}): 0.6,
+            frozenset({"bread", "milk"}): 0.6,
+            frozenset({"bread", "diapers"}): 0.6,
+            frozenset({"milk", "diapers"}): 0.6,
+            frozenset({"beer", "diapers"}): 0.6,
+        }
+        assert {fi.items: fi.support for fi in result} == pytest.approx(expected)
+
+    def test_sorted_by_support(self, classic_db):
+        result = apriori(classic_db, min_support=0.4)
+        supports = [fi.support for fi in result]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_max_size_cap(self, classic_db):
+        result = apriori(classic_db, min_support=0.2, max_size=1)
+        assert all(len(fi) == 1 for fi in result)
+
+    def test_threshold_one(self, classic_db):
+        result = apriori(classic_db, min_support=1.0)
+        assert result == []
+
+    def test_invalid_support(self, classic_db):
+        with pytest.raises(DataError):
+            apriori(classic_db, min_support=0.0)
+
+    def test_downward_closure(self, classic_db):
+        from itertools import combinations
+
+        result = apriori(classic_db, min_support=0.4)
+        frequent = {fi.items for fi in result}
+        for itemset in frequent:
+            for size in range(1, len(itemset)):
+                for subset in combinations(itemset, size):
+                    assert frozenset(subset) in frequent
+
+
+class TestFPGrowth:
+    def test_agrees_with_apriori_classic(self, classic_db):
+        for min_support in [0.2, 0.4, 0.6, 0.8]:
+            assert as_set(apriori(classic_db, min_support)) == as_set(
+                fp_growth(classic_db, min_support)
+            )
+
+    def test_invalid_support(self, classic_db):
+        with pytest.raises(DataError):
+            fp_growth(classic_db, min_support=1.5)
+
+    def test_max_size_cap(self, classic_db):
+        result = fp_growth(classic_db, min_support=0.2, max_size=2)
+        assert all(len(fi) <= 2 for fi in result)
+        full = {fi.items for fi in fp_growth(classic_db, min_support=0.2)}
+        capped = {fi.items for fi in result}
+        assert capped == {s for s in full if len(s) <= 2}
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_agrees_with_apriori_random(self, seed):
+        rng = np.random.default_rng(seed)
+        db = random_database(8, 40, density=0.35, rng=rng)
+        assert as_set(apriori(db, 0.25)) == as_set(fp_growth(db, 0.25))
+
+    def test_supports_are_correct(self, classic_db):
+        for fi in fp_growth(classic_db, 0.2):
+            assert fi.support == pytest.approx(support(classic_db, fi.items))
+
+
+class TestAnonymizationPreservesPatterns:
+    def test_renamed_itemsets_identical(self, classic_db, rng):
+        released = anonymize(classic_db, rng=rng)
+        original = apriori(classic_db, 0.4)
+        mined = apriori(released.database, 0.4)
+        mapping = {
+            item: released.mapping.anonymize_item(item) for item in classic_db.domain
+        }
+        assert itemsets_equal_up_to_renaming(original, mined, mapping)
+
+    def test_detects_mismatch(self, classic_db, rng):
+        released = anonymize(classic_db, rng=rng)
+        original = apriori(classic_db, 0.4)
+        mined = apriori(released.database, 0.6)  # different threshold: differs
+        mapping = {
+            item: released.mapping.anonymize_item(item) for item in classic_db.domain
+        }
+        assert not itemsets_equal_up_to_renaming(original, mined, mapping)
+
+
+class TestFrequentItemset:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            FrequentItemset(support=0.5, items=frozenset())
+        with pytest.raises(DataError):
+            FrequentItemset(support=1.5, items=frozenset({1}))
+
+    def test_container_protocol(self):
+        fi = FrequentItemset(support=0.5, items=frozenset({1, 2}))
+        assert len(fi) == 2
+        assert 1 in fi
+        assert 3 not in fi

@@ -1,0 +1,84 @@
+"""Unit tests for the noise-model belief builders."""
+
+import numpy as np
+import pytest
+
+from repro.beliefs import (
+    gaussian_noise_belief,
+    laplace_noise_belief,
+    relative_error_belief,
+)
+from repro.errors import BeliefError
+
+
+@pytest.fixture
+def many_frequencies():
+    rng = np.random.default_rng(0)
+    return {i: float(f) for i, f in enumerate(0.05 + 0.9 * rng.random(500), start=1)}
+
+
+class TestGaussianNoise:
+    def test_zero_noise_is_compliant(self, many_frequencies, rng):
+        belief = gaussian_noise_belief(many_frequencies, sigma=0.0, width=0.01, rng=rng)
+        assert belief.is_compliant_for(many_frequencies)
+
+    def test_compliancy_tracks_the_normal_cdf(self, many_frequencies):
+        rng = np.random.default_rng(5)
+        sigma = 0.02
+        belief = gaussian_noise_belief(many_frequencies, sigma=sigma, width=sigma, rng=rng)
+        alpha = belief.compliancy(many_frequencies)
+        assert alpha == pytest.approx(0.683, abs=0.06)  # P(|N| <= 1 sigma)
+        belief2 = gaussian_noise_belief(
+            many_frequencies, sigma=sigma, width=2 * sigma, rng=np.random.default_rng(6)
+        )
+        assert belief2.compliancy(many_frequencies) == pytest.approx(0.954, abs=0.04)
+
+    def test_width_zero_gives_point_beliefs(self, many_frequencies, rng):
+        belief = gaussian_noise_belief(many_frequencies, sigma=0.01, width=0.0, rng=rng)
+        assert belief.is_point_valued
+
+    def test_invalid_parameters(self, many_frequencies, rng):
+        with pytest.raises(BeliefError):
+            gaussian_noise_belief(many_frequencies, sigma=-1, width=0.1, rng=rng)
+        with pytest.raises(BeliefError):
+            gaussian_noise_belief(many_frequencies, sigma=0.1, width=-1, rng=rng)
+
+
+class TestLaplaceNoise:
+    def test_compliancy_tracks_the_laplace_cdf(self, many_frequencies):
+        scale = 0.02
+        belief = laplace_noise_belief(
+            many_frequencies, scale=scale, width=scale, rng=np.random.default_rng(7)
+        )
+        alpha = belief.compliancy(many_frequencies)
+        assert alpha == pytest.approx(1 - np.exp(-1), abs=0.06)
+
+    def test_zero_scale_is_compliant(self, many_frequencies, rng):
+        belief = laplace_noise_belief(many_frequencies, scale=0.0, width=0.001, rng=rng)
+        assert belief.is_compliant_for(many_frequencies)
+
+    def test_invalid_parameters(self, many_frequencies, rng):
+        with pytest.raises(BeliefError):
+            laplace_noise_belief(many_frequencies, scale=-0.1, width=0.1, rng=rng)
+
+
+class TestRelativeError:
+    def test_always_compliant(self, many_frequencies):
+        belief = relative_error_belief(many_frequencies, 0.1)
+        assert belief.is_compliant_for(many_frequencies)
+
+    def test_widths_scale_with_frequency(self):
+        belief = relative_error_belief({1: 0.1, 2: 0.5}, 0.2)
+        assert belief[1].width == pytest.approx(0.04)
+        assert belief[2].width == pytest.approx(0.2)
+
+    def test_zero_error_is_point_valued(self, many_frequencies):
+        assert relative_error_belief(many_frequencies, 0.0).is_point_valued
+
+    def test_clipping(self):
+        belief = relative_error_belief({1: 0.9}, 0.5)
+        assert belief[1].high == 1.0
+
+    def test_invalid_parameter(self, many_frequencies):
+        with pytest.raises(BeliefError):
+            relative_error_belief(many_frequencies, -0.1)

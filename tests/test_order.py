@@ -1,0 +1,69 @@
+"""Unit tests for the belief-function partial orders (Definitions 7 and 9)."""
+
+import pytest
+
+from repro.beliefs import (
+    ignorant_belief,
+    interval_belief,
+    is_compliancy_refinement,
+    is_refinement,
+    point_belief,
+    uniform_width_belief,
+)
+from repro.errors import DomainMismatchError
+
+
+class TestRefinement:
+    def test_point_refines_everything(self, bigmart_frequencies):
+        point = point_belief(bigmart_frequencies)
+        wide = uniform_width_belief(bigmart_frequencies, 0.1)
+        ignorant = ignorant_belief(bigmart_frequencies)
+        assert is_refinement(point, wide)
+        assert is_refinement(wide, ignorant)
+        assert is_refinement(point, ignorant)
+
+    def test_not_antisymmetric_violation(self, bigmart_frequencies):
+        wide = uniform_width_belief(bigmart_frequencies, 0.1)
+        point = point_belief(bigmart_frequencies)
+        assert not is_refinement(wide, point)
+
+    def test_reflexive(self, belief_h):
+        assert is_refinement(belief_h, belief_h)
+
+    def test_incomparable(self):
+        a = interval_belief({1: (0.0, 0.5)})
+        b = interval_belief({1: (0.4, 1.0)})
+        assert not is_refinement(a, b)
+        assert not is_refinement(b, a)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            is_refinement(interval_belief({1: 0.5}), interval_belief({2: 0.5}))
+
+
+class TestCompliancyRefinement:
+    def test_smaller_compliant_set_with_same_intervals(self, bigmart_frequencies):
+        beta1 = uniform_width_belief(bigmart_frequencies, 0.05)
+        # beta2 guesses item 1 wrong but keeps everything else identical.
+        beta2 = beta1.replace({1: (0.9, 1.0)})
+        assert is_compliancy_refinement(beta2, beta1, bigmart_frequencies)
+        assert not is_compliancy_refinement(beta1, beta2, bigmart_frequencies)
+
+    def test_sharper_compliant_guess_breaks_order(self, bigmart_frequencies):
+        beta1 = uniform_width_belief(bigmart_frequencies, 0.05)
+        # beta2 is compliant on a subset but *sharpens* item 2's interval,
+        # violating condition (ii) of Definition 9.
+        beta2 = beta1.replace({1: (0.9, 1.0), 2: 0.4})
+        assert not is_compliancy_refinement(beta2, beta1, bigmart_frequencies)
+
+    def test_explicit_compliant_sets(self, bigmart_frequencies):
+        beta = uniform_width_belief(bigmart_frequencies, 0.05)
+        assert is_compliancy_refinement(
+            beta, beta, bigmart_frequencies, compliant2=[1, 2], compliant1=[1, 2, 3]
+        )
+        assert not is_compliancy_refinement(
+            beta, beta, bigmart_frequencies, compliant2=[1, 4], compliant1=[1, 2, 3]
+        )
+
+    def test_reflexive(self, belief_h, bigmart_frequencies):
+        assert is_compliancy_refinement(belief_h, belief_h, bigmart_frequencies)

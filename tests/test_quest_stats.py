@@ -1,0 +1,97 @@
+"""Unit tests for the Quest generator and database statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import TransactionDatabase, describe
+from repro.datasets import QuestParameters, quest_database
+from repro.errors import DataError
+from repro.mining import apriori
+
+
+@pytest.fixture
+def quest_db(rng):
+    params = QuestParameters(
+        n_items=60,
+        n_transactions=400,
+        avg_transaction_size=8,
+        avg_pattern_size=3,
+        n_patterns=40,
+    )
+    return quest_database(params, rng=rng)
+
+
+class TestQuestParameters:
+    def test_defaults_valid(self):
+        QuestParameters()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_items": 0},
+            {"avg_transaction_size": 0.5},
+            {"correlation": 1.5},
+            {"corruption_mean": 1.0},
+            {"n_patterns": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(DataError):
+            QuestParameters(**kwargs)
+
+
+class TestQuestDatabase:
+    def test_shape(self, quest_db):
+        assert quest_db.n_transactions == 400
+        assert quest_db.domain == frozenset(range(1, 61))
+        assert all(transaction for transaction in quest_db)
+
+    def test_transaction_sizes_near_target(self, quest_db):
+        mean_size = sum(len(t) for t in quest_db) / len(quest_db)
+        assert 4 <= mean_size <= 14  # Poisson(8)-ish after corruption
+
+    def test_reproducible(self):
+        params = QuestParameters(n_items=30, n_transactions=50, n_patterns=10)
+        a = quest_database(params, rng=np.random.default_rng(3))
+        b = quest_database(params, rng=np.random.default_rng(3))
+        assert a == b
+
+    def test_correlated_patterns_minable(self, quest_db):
+        # The generator plants itemset structure: some multi-item
+        # patterns must be frequent well above independence levels.
+        itemsets = apriori(quest_db, min_support=0.05, max_size=3)
+        multi = [fi for fi in itemsets if len(fi) >= 2]
+        assert multi, "expected planted multi-item patterns to be frequent"
+
+
+class TestDescribe:
+    def test_database_statistics(self, bigmart_db):
+        stats = describe(bigmart_db)
+        assert stats.n_items == 6
+        assert stats.n_transactions == 10
+        assert stats.n_groups == 3
+        assert stats.n_singleton_groups == 2
+        assert stats.min_frequency == pytest.approx(0.3)
+        assert stats.max_frequency == pytest.approx(0.5)
+        assert stats.mean_transaction_length == pytest.approx(2.7)
+        assert stats.min_transaction_length == 1
+        assert stats.max_transaction_length == 4
+
+    def test_density(self, bigmart_db):
+        stats = describe(bigmart_db)
+        assert stats.density == pytest.approx(27 / 60)
+
+    def test_profile_has_no_lengths(self, bigmart_db):
+        stats = describe(bigmart_db.to_profile())
+        assert stats.mean_transaction_length is None
+        assert stats.n_groups == 3
+
+    def test_single_group_no_gaps(self):
+        db = TransactionDatabase([[1, 2]] * 4)
+        stats = describe(db)
+        assert stats.gap_statistics is None
+
+    def test_text_rendering(self, bigmart_db):
+        text = describe(bigmart_db).to_text()
+        assert "frequency groups" in text
+        assert "transaction length" in text

@@ -1,0 +1,84 @@
+"""Unit tests for the Assess-Risk recipe (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.data import FrequencyProfile, TransactionDatabase
+from repro.errors import RecipeError
+from repro.recipe import Decision, assess_risk
+
+
+class TestEarlyDisclose:
+    def test_point_valued_stage(self):
+        # 3 frequency groups over 100 items: g/n = 0.03 <= tau.
+        counts = {i: 10 for i in range(1, 41)}
+        counts.update({i: 20 for i in range(41, 81)})
+        counts.update({i: 30 for i in range(81, 101)})
+        profile = FrequencyProfile(counts, 100)
+        report = assess_risk(profile, tolerance=0.05)
+        assert report.decision is Decision.DISCLOSE_POINT_VALUED
+        assert report.disclose
+        assert report.g == 3
+        assert report.interval_estimate is None
+        assert report.alpha_max is None
+
+    def test_interval_stage(self):
+        # Distinct but tightly packed frequencies: g = n (point-valued
+        # fails), but median-gap intervals blur everything together.
+        profile = FrequencyProfile({i: 50 + i for i in range(1, 21)}, 1000)
+        report = assess_risk(profile, tolerance=0.4)
+        assert report.decision is Decision.DISCLOSE_INTERVAL
+        assert report.g == 20
+        assert report.interval_estimate is not None
+        assert report.interval_estimate.within_tolerance(0.4)
+
+    def test_alpha_stage(self):
+        # Well-separated frequencies: even interval beliefs crack items.
+        profile = FrequencyProfile({i: 40 * i for i in range(1, 21)}, 1000)
+        report = assess_risk(profile, tolerance=0.1, rng=np.random.default_rng(0))
+        assert report.decision is Decision.ALPHA_BOUND
+        assert not report.disclose
+        assert report.alpha_max is not None
+        assert 0.0 <= report.alpha_max < 1.0
+
+
+class TestRecipeMechanics:
+    def test_accepts_transaction_database(self, bigmart_db):
+        report = assess_risk(bigmart_db, tolerance=0.5)
+        assert report.g == 3
+        assert report.decision is Decision.DISCLOSE_POINT_VALUED
+
+    def test_delta_override(self):
+        profile = FrequencyProfile({i: 40 * i for i in range(1, 21)}, 1000)
+        wide = assess_risk(profile, tolerance=0.1, delta=0.5)
+        assert wide.decision is Decision.DISCLOSE_INTERVAL  # huge intervals: safe
+
+    def test_delta_default_is_median_gap(self):
+        profile = FrequencyProfile({1: 10, 2: 20, 3: 40}, 100)
+        report = assess_risk(profile, tolerance=0.0, delta=None)
+        assert report.delta == pytest.approx(0.15)
+
+    def test_invalid_tolerance(self, bigmart_db):
+        with pytest.raises(RecipeError):
+            assess_risk(bigmart_db, tolerance=-0.2)
+
+    def test_single_group_needs_explicit_delta(self):
+        profile = FrequencyProfile({1: 10, 2: 10}, 100)
+        with pytest.raises(RecipeError):
+            assess_risk(profile, tolerance=0.0)
+        report = assess_risk(profile, tolerance=0.0, delta=0.1)
+        assert report.decision is Decision.ALPHA_BOUND
+
+    def test_summary_mentions_decision(self):
+        profile = FrequencyProfile({i: 40 * i for i in range(1, 21)}, 1000)
+        report = assess_risk(profile, tolerance=0.1, rng=np.random.default_rng(0))
+        text = report.summary()
+        assert "alpha_max" in text
+        assert "decision" in text
+
+    def test_alpha_max_respects_tolerance_semantics(self):
+        profile = FrequencyProfile({i: 40 * i for i in range(1, 21)}, 1000)
+        loose = assess_risk(profile, tolerance=0.3, rng=np.random.default_rng(1))
+        tight = assess_risk(profile, tolerance=0.05, rng=np.random.default_rng(1))
+        if loose.decision is Decision.ALPHA_BOUND and tight.decision is Decision.ALPHA_BOUND:
+            assert loose.alpha_max >= tight.alpha_max

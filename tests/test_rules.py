@@ -1,0 +1,99 @@
+"""Unit tests for association-rule generation."""
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.errors import DataError
+from repro.mining import FrequentItemset, apriori, generate_rules
+from repro.mining.rules import AssociationRule
+
+
+@pytest.fixture
+def basket_db():
+    return TransactionDatabase(
+        [
+            ["bread", "milk"],
+            ["bread", "diapers", "beer", "eggs"],
+            ["milk", "diapers", "beer", "cola"],
+            ["bread", "milk", "diapers", "beer"],
+            ["bread", "milk", "diapers", "cola"],
+        ]
+    )
+
+
+class TestGenerateRules:
+    def test_textbook_rule(self, basket_db):
+        rules = generate_rules(apriori(basket_db, 0.4), min_confidence=0.9)
+        as_pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        # {beer} -> {diapers}: support 0.6, conf 0.6/0.6 = 1.0
+        assert (frozenset({"beer"}), frozenset({"diapers"})) in as_pairs
+
+    def test_measures_are_correct(self, basket_db):
+        rules = generate_rules(apriori(basket_db, 0.4), min_confidence=0.9)
+        rule = next(
+            r for r in rules
+            if r.antecedent == frozenset({"beer"}) and r.consequent == frozenset({"diapers"})
+        )
+        assert rule.support == pytest.approx(0.6)
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.lift == pytest.approx(1.0 / 0.8)
+        assert rule.leverage == pytest.approx(0.6 - 0.6 * 0.8)
+
+    def test_confidence_threshold_filters(self, basket_db):
+        lax = generate_rules(apriori(basket_db, 0.4), min_confidence=0.5)
+        strict = generate_rules(apriori(basket_db, 0.4), min_confidence=0.95)
+        assert len(strict) < len(lax)
+        assert all(rule.confidence >= 0.95 for rule in strict)
+
+    def test_lift_threshold(self, basket_db):
+        rules = generate_rules(apriori(basket_db, 0.4), min_confidence=0.5, min_lift=1.01)
+        assert all(rule.lift >= 1.01 for rule in rules)
+
+    def test_sorted_by_confidence(self, basket_db):
+        rules = generate_rules(apriori(basket_db, 0.4), min_confidence=0.4)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_sides_partition_the_itemset(self, basket_db):
+        for rule in generate_rules(apriori(basket_db, 0.4), min_confidence=0.4):
+            assert rule.antecedent
+            assert rule.consequent
+            assert not (rule.antecedent & rule.consequent)
+
+    def test_missing_subset_support_detected(self):
+        # not downward closed: the pair is present but not its singletons
+        broken = [FrequentItemset(support=0.5, items=frozenset({1, 2}))]
+        with pytest.raises(DataError, match="downward"):
+            generate_rules(broken, min_confidence=0.5)
+
+    def test_invalid_confidence(self, basket_db):
+        with pytest.raises(DataError):
+            generate_rules(apriori(basket_db, 0.4), min_confidence=0.0)
+
+    def test_str_rendering(self, basket_db):
+        rules = generate_rules(apriori(basket_db, 0.4), min_confidence=0.9)
+        text = str(rules[0])
+        assert "->" in text
+        assert "conf=" in text
+
+
+class TestAssociationRule:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            AssociationRule(
+                antecedent=frozenset(),
+                consequent=frozenset({1}),
+                support=0.5,
+                confidence=0.5,
+                lift=1.0,
+                leverage=0.0,
+            )
+        with pytest.raises(DataError):
+            AssociationRule(
+                antecedent=frozenset({1}),
+                consequent=frozenset({1, 2}),
+                support=0.5,
+                confidence=0.5,
+                lift=1.0,
+                leverage=0.0,
+            )

@@ -1,0 +1,73 @@
+"""Unit tests for transaction and profile sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import FrequencyProfile, TransactionDatabase, sample_profile, sample_transactions
+from repro.data.sampling import resolve_sample_size
+from repro.errors import DataError
+
+
+class TestResolveSampleSize:
+    def test_rounding(self):
+        assert resolve_sample_size(100, 0.1) == 10
+        assert resolve_sample_size(100, 0.005) == 1  # at least one transaction
+
+    def test_full_sample(self):
+        assert resolve_sample_size(7, 1.0) == 7
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(DataError):
+            resolve_sample_size(100, fraction)
+
+
+class TestSampleTransactions:
+    def test_size_and_domain(self, rng):
+        db = TransactionDatabase([[1, 2]] * 50 + [[3]] * 50)
+        sample = sample_transactions(db, 0.2, rng=rng)
+        assert len(sample) == 20
+        assert sample.domain == db.domain  # full domain kept
+
+    def test_without_replacement(self, rng):
+        db = TransactionDatabase([[i] for i in range(1, 21)])
+        sample = sample_transactions(db, 1.0, rng=rng)
+        # a full sample without replacement is a permutation of the rows
+        from collections import Counter
+
+        assert Counter(sample) == Counter(db)
+
+    def test_sampled_frequencies_are_plausible(self, rng):
+        db = TransactionDatabase([[1]] * 800 + [[2]] * 200)
+        sample = sample_transactions(db, 0.5, rng=rng)
+        assert sample.frequency(1) == pytest.approx(0.8, abs=0.1)
+
+
+class TestSampleProfile:
+    def test_size(self, rng):
+        profile = FrequencyProfile({1: 30, 2: 60}, 100)
+        sample = sample_profile(profile, 0.4, rng=rng)
+        assert sample.n_transactions == 40
+        assert sample.domain == profile.domain
+
+    def test_counts_within_bounds(self, rng):
+        profile = FrequencyProfile({1: 30, 2: 99, 3: 0}, 100)
+        sample = sample_profile(profile, 0.3, rng=rng)
+        for item in profile.domain:
+            assert 0 <= sample.item_count(item) <= 30
+        assert sample.item_count(3) == 0
+
+    def test_full_sample_is_exact(self, rng):
+        profile = FrequencyProfile({1: 30, 2: 60}, 100)
+        sample = sample_profile(profile, 1.0, rng=rng)
+        assert sample.counts == profile.counts
+
+    def test_hypergeometric_mean(self, rng):
+        profile = FrequencyProfile({1: 500}, 1000)
+        draws = [sample_profile(profile, 0.1, rng=rng).item_count(1) for _ in range(200)]
+        assert np.mean(draws) == pytest.approx(50, abs=3)
+
+    def test_sure_items_stay_sure(self, rng):
+        profile = FrequencyProfile({1: 100}, 100)
+        sample = sample_profile(profile, 0.5, rng=rng)
+        assert sample.frequency(1) == 1.0

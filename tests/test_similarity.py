@@ -1,0 +1,64 @@
+"""Unit tests for Similarity-by-Sampling (Figure 13)."""
+
+import numpy as np
+import pytest
+
+from repro.data import FrequencyProfile, TransactionDatabase
+from repro.errors import RecipeError
+from repro.recipe import similarity_by_sampling
+
+
+@pytest.fixture
+def spread_profile():
+    """Well-separated frequencies so sampled gaps behave regularly."""
+    return FrequencyProfile({i: 100 * i for i in range(1, 10)}, 2000)
+
+
+class TestSimilarityBySampling:
+    def test_point_structure(self, spread_profile, rng):
+        points = similarity_by_sampling(spread_profile, [0.2, 0.6], n_samples=4, rng=rng)
+        assert [p.fraction for p in points] == [0.2, 0.6]
+        for point in points:
+            assert 0.0 <= point.alpha_mean <= 1.0
+            assert point.alpha_std >= 0.0
+            assert point.delta_mean >= 0.0
+
+    def test_full_sample_is_fully_compliant(self, spread_profile, rng):
+        (point,) = similarity_by_sampling(spread_profile, [1.0], n_samples=2, rng=rng)
+        # A 100% sample reproduces the true frequencies exactly, and the
+        # median-gap interval around the truth always contains the truth.
+        assert point.alpha_mean == pytest.approx(1.0)
+        assert point.alpha_std == pytest.approx(0.0)
+
+    def test_works_on_transaction_databases(self, bigmart_db, rng):
+        points = similarity_by_sampling(bigmart_db, [0.5], n_samples=3, rng=rng)
+        assert len(points) == 1
+        assert 0.0 <= points[0].alpha_mean <= 1.0
+
+    def test_mean_gap_at_least_as_compliant(self, spread_profile):
+        # Wider (mean-gap) intervals can only increase compliancy.
+        median_points = similarity_by_sampling(
+            spread_profile, [0.3], n_samples=10, rng=np.random.default_rng(5)
+        )
+        mean_points = similarity_by_sampling(
+            spread_profile,
+            [0.3],
+            n_samples=10,
+            rng=np.random.default_rng(5),
+            use_mean_gap=True,
+        )
+        assert mean_points[0].alpha_mean >= median_points[0].alpha_mean - 1e-9
+
+    def test_degenerate_sample_handled(self, rng):
+        # A tiny database whose samples may collapse to one group.
+        profile = FrequencyProfile({1: 1, 2: 1, 3: 1}, 3)
+        points = similarity_by_sampling(profile, [0.34], n_samples=3, rng=rng)
+        assert len(points) == 1
+
+    def test_invalid_sample_count(self, spread_profile, rng):
+        with pytest.raises(RecipeError):
+            similarity_by_sampling(spread_profile, [0.5], n_samples=0, rng=rng)
+
+    def test_unsupported_source_rejected(self, rng):
+        with pytest.raises(RecipeError):
+            similarity_by_sampling(object(), [0.5], rng=rng)
