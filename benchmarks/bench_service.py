@@ -1,0 +1,183 @@
+"""Service-layer benchmarks: cache speedup, sweep reuse, batch scaling.
+
+Acceptance measurements for the service layer:
+
+* warm (cached) ``assess()`` on a repeated (profile, params) pair must
+  be >= 10x faster than the cold computation;
+* ``assess_many()`` with 4 workers must beat 1 worker on an 8-dataset
+  batch **when more than one CPU is available** (on a single-CPU host
+  the comparison is reported but the speedup is not asserted), while
+  producing byte-identical JSON results either way.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -s --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.datasets import load_benchmark
+from repro.io import assessment_to_json
+from repro.recipe import assess_risk
+from repro.service import AssessmentEngine, AssessmentParams
+
+BATCH_BENCHMARKS = ("retail", "pumsb", "accidents", "connect")
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _batch_requests():
+    """8 distinct heavy questions over the four largest benchmarks."""
+    requests = []
+    for round_index in range(2):
+        for name in BATCH_BENCHMARKS:
+            profile = load_benchmark(name).profile
+            requests.append(
+                (
+                    profile,
+                    AssessmentParams(
+                        tolerance=0.01 + 0.02 * round_index, runs=25
+                    ),
+                )
+            )
+    return requests
+
+
+def test_service_cold_vs_warm(report):
+    """Warm-cache assess() must be >= 10x faster than the cold pass."""
+    profile = load_benchmark("retail").profile
+    engine = AssessmentEngine()
+
+    start = time.perf_counter()
+    cold = engine.assess(profile, 0.01, runs=25)
+    cold_seconds = time.perf_counter() - start
+    assert not cold.cached
+
+    warm_seconds = []
+    for _ in range(5):
+        start = time.perf_counter()
+        warm = engine.assess(profile, 0.01, runs=25)
+        warm_seconds.append(time.perf_counter() - start)
+        assert warm.cached and warm.assessment == cold.assessment
+    best_warm = min(warm_seconds)
+
+    speedup = cold_seconds / best_warm
+    report(
+        "service_cold_vs_warm",
+        [
+            f"cold assess (retail, tau=0.01, runs=25): {cold_seconds * 1e3:8.2f} ms",
+            f"warm assess (cache hit, best of 5):      {best_warm * 1e3:8.4f} ms",
+            f"speedup: {speedup:,.0f}x (acceptance floor: 10x)",
+        ],
+    )
+    assert speedup >= 10.0
+
+
+def test_service_sweep_reuses_space(report):
+    """A tolerance sweep through the engine beats one-shot re-assessment."""
+    profile = load_benchmark("retail").profile
+    tolerances = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
+
+    start = time.perf_counter()
+    naive = [assess_risk(profile, tolerance) for tolerance in tolerances]
+    naive_seconds = time.perf_counter() - start
+
+    engine = AssessmentEngine()
+    start = time.perf_counter()
+    swept = engine.sweep_tolerance(profile, tolerances)
+    sweep_seconds = time.perf_counter() - start
+
+    assert [outcome.assessment.decision for outcome in swept] == [
+        result.decision for result in naive
+    ]
+    spaces_built = engine.metrics.snapshot()["timers"]["stage:space"]["count"]
+    report(
+        "service_sweep_reuse",
+        [
+            f"{len(tolerances)}-point tolerance sweep on retail",
+            f"one-shot assess_risk per point: {naive_seconds:7.3f} s",
+            f"engine sweep (shared space):    {sweep_seconds:7.3f} s",
+            f"spaces built by the engine: {spaces_built}",
+            f"speedup: {naive_seconds / sweep_seconds:.1f}x",
+        ],
+    )
+    assert spaces_built == 1
+    assert sweep_seconds < naive_seconds
+
+
+def test_service_batch_throughput(report):
+    """4-worker assess_many() vs 1 worker on an 8-dataset batch."""
+    cpus = _available_cpus()
+    requests = _batch_requests()
+    assert len(requests) >= 8
+
+    start = time.perf_counter()
+    serial = AssessmentEngine().assess_many(requests, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = AssessmentEngine().assess_many(requests, workers=4)
+    parallel_seconds = time.perf_counter() - start
+
+    assert all(result.ok for result in serial)
+    serial_json = [
+        json.dumps(assessment_to_json(result.assessment), sort_keys=True)
+        for result in serial
+    ]
+    parallel_json = [
+        json.dumps(assessment_to_json(result.assessment), sort_keys=True)
+        for result in parallel
+    ]
+    assert serial_json == parallel_json
+
+    lines = [
+        f"batch of {len(requests)} datasets ({', '.join(BATCH_BENCHMARKS)} x 2)",
+        f"available CPUs: {cpus}",
+        f"1 worker:  {serial_seconds:7.3f} s "
+        f"({len(requests) / serial_seconds:6.2f} assessments/s)",
+        f"4 workers: {parallel_seconds:7.3f} s "
+        f"({len(requests) / parallel_seconds:6.2f} assessments/s)",
+        "results: byte-identical JSON across pool sizes",
+    ]
+    if cpus >= 2:
+        lines.append(f"speedup: {serial_seconds / parallel_seconds:.2f}x")
+        report("service_batch_throughput", lines)
+        assert parallel_seconds < serial_seconds
+    else:
+        lines.append(
+            "single-CPU host: speedup not asserted (pool cannot beat serial "
+            "without a second core)"
+        )
+        report("service_batch_throughput", lines)
+
+
+def test_perf_engine_cold_assess(benchmark):
+    """pytest-benchmark timing of one cold engine pass on retail."""
+    profile = load_benchmark("retail").profile
+
+    def cold():
+        return AssessmentEngine().assess(profile, 0.01, runs=25)
+
+    outcome = benchmark(cold)
+    assert outcome.assessment.decision is not None
+
+
+def test_perf_engine_warm_assess(benchmark):
+    """pytest-benchmark timing of the cache-hit path on retail."""
+    profile = load_benchmark("retail").profile
+    engine = AssessmentEngine()
+    engine.assess(profile, 0.01, runs=25)
+
+    outcome = benchmark(engine.assess, profile, 0.01, runs=25)
+    assert outcome.cached

@@ -1,8 +1,10 @@
-"""Command-line interface: ``repro-assess``.
+"""Command-line interfaces: ``repro-assess``, ``repro-batch``, ``repro-serve``.
 
-Runs the Assess-Risk recipe (Figure 8) on a calibrated benchmark or a
-FIMI ``.dat`` file, optionally followed by the Similarity-by-Sampling
-curve (Figure 13).
+``repro-assess`` runs the Assess-Risk recipe (Figure 8) on a calibrated
+benchmark or a FIMI ``.dat`` file, optionally followed by the
+Similarity-by-Sampling curve (Figure 13).  ``repro-batch`` fans a
+manifest of datasets out across the service layer's worker pool and
+writes JSON-lines results; ``repro-serve`` exposes the engine over HTTP.
 
 Examples::
 
@@ -11,30 +13,59 @@ Examples::
     repro-assess --benchmark chess --stats --report risk.md
     repro-assess --benchmark connect --protect quantile
     repro-assess --benchmark mushroom --save-assessment decision.json
+    repro-batch manifest.json --workers 4 --output results.jsonl
+    repro-serve --port 8080 --cache-dir /var/cache/repro
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from importlib import metadata
 
 import numpy as np
 
+import repro
 from repro.analysis.profile import RiskProfile
 from repro.beliefs.builders import uniform_width_belief
 from repro.data.fimi import read_fimi
 from repro.data.stats import describe
 from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
-from repro.errors import ReproError
+from repro.errors import FormatError, ReproError
 from repro.graph.bipartite import space_from_frequencies
-from repro.io import assessment_to_json, save_json
+from repro.io import assessment_to_json, load_json, save_json
 from repro.protect.planner import protect_to_tolerance
 from repro.recipe.assess import assess_risk
 from repro.recipe.report import full_report
 from repro.recipe.similarity import similarity_by_sampling
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "batch_main",
+    "build_batch_parser",
+    "serve_main",
+    "build_serve_parser",
+]
+
+
+def package_version() -> str:
+    """The installed package version (source-tree fallback included)."""
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        return repro.__version__
+
+
+def _add_version_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the package version and exit",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Assess the disclosure risk of releasing anonymized data "
         "(Lakshmanan, Ng, Ramesh; SIGMOD 2005).",
     )
+    _add_version_flag(parser)
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
         "--benchmark",
@@ -163,11 +195,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             save_json(assessment_to_json(report), args.save_assessment)
             print(f"assessment written to {args.save_assessment}")
 
-        if args.protect is not None and not report.disclose:
-            plan = protect_to_tolerance(
-                source, args.tolerance, strategy=args.protect, delta=report.delta
-            )
-            print(f"\nprotection plan: {plan.summary()}")
+        if args.protect is not None:
+            if report.disclose:
+                print(
+                    "\nprotection skipped: the recipe already discloses, "
+                    "no intervention is needed"
+                )
+            else:
+                plan = protect_to_tolerance(
+                    source, args.tolerance, strategy=args.protect, delta=report.delta
+                )
+                print(f"\nprotection plan: {plan.summary()}")
 
         if args.similarity:
             print("\nSimilarity-by-Sampling (Figure 13):")
@@ -183,6 +221,218 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+# -- repro-batch ------------------------------------------------------------
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    """The ``repro-batch`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-batch",
+        description="Assess a manifest of datasets in parallel through the "
+        "service layer, writing one JSON result line per dataset.",
+    )
+    _add_version_flag(parser)
+    parser.add_argument(
+        "manifest",
+        help="JSON manifest: {\"defaults\": {params...}, \"datasets\": "
+        "[{\"benchmark\"|\"fimi\": ..., \"name\": ..., params...}]} "
+        "(see docs/service.md)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the assessment pool (default 1)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write JSON-lines results to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist assessment results under DIR (warm-starts later runs)",
+    )
+    return parser
+
+
+_PARAM_KEYS = ("tolerance", "delta", "runs", "seed", "interest")
+
+
+def _manifest_jobs(manifest: dict) -> list:
+    """Expand a manifest into named ``(name, profile, params, error)`` jobs.
+
+    A bad *entry* (missing file, invalid parameters) becomes a job whose
+    ``error`` is set instead of killing the batch; only a structurally
+    malformed manifest raises.
+    """
+    from repro.service import AssessmentParams
+
+    if not isinstance(manifest, dict) or not isinstance(manifest.get("datasets"), list):
+        raise FormatError("manifest must be a JSON object with a 'datasets' list")
+    defaults = manifest.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise FormatError("manifest 'defaults' must be a JSON object")
+    jobs = []
+    for position, entry in enumerate(manifest["datasets"]):
+        if not isinstance(entry, dict):
+            raise FormatError(f"dataset #{position} must be a JSON object")
+        name = entry.get(
+            "name", entry.get("benchmark", entry.get("fimi", f"dataset-{position}"))
+        )
+        try:
+            if ("benchmark" in entry) == ("fimi" in entry):
+                raise FormatError(
+                    "needs exactly one of 'benchmark' or 'fimi'"
+                )
+            if "benchmark" in entry:
+                source = load_benchmark(entry["benchmark"]).profile
+            else:
+                source = read_fimi(entry["fimi"]).to_profile()
+            merged = {
+                key: entry.get(key, defaults.get(key))
+                for key in _PARAM_KEYS
+                if entry.get(key, defaults.get(key)) is not None
+            }
+            if "tolerance" not in merged:
+                raise FormatError(
+                    "no tolerance (set it on the entry or in 'defaults')"
+                )
+            if "interest" in merged:
+                merged["interest"] = frozenset(merged["interest"])
+            jobs.append((name, source, AssessmentParams(**merged), None))
+        except (ReproError, OSError, TypeError, ValueError) as error:
+            jobs.append((name, None, None, f"{type(error).__name__}: {error}"))
+    return jobs
+
+
+def batch_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-batch``; returns a process exit code."""
+    from repro.service import AssessmentCache, AssessmentEngine
+
+    args = build_batch_parser().parse_args(argv)
+    try:
+        jobs = _manifest_jobs(load_json(args.manifest))
+        engine = AssessmentEngine(
+            cache=AssessmentCache(directory=args.cache_dir)
+            if args.cache_dir
+            else None
+        )
+        runnable = [
+            (position, profile, params)
+            for position, (_, profile, params, error) in enumerate(jobs)
+            if error is None
+        ]
+        results = engine.assess_many(
+            [(profile, params) for _, profile, params in runnable],
+            workers=args.workers,
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    by_position = {
+        position: result
+        for (position, _, _), result in zip(runnable, results)
+    }
+    lines = []
+    failures = 0
+    for position, (name, _, _, load_error) in enumerate(jobs):
+        record = {"name": name}
+        result = by_position.get(position)
+        if load_error is not None:
+            record["error"] = load_error
+            failures += 1
+        elif result.ok:
+            record.update(
+                fingerprint=result.fingerprint,
+                cached=result.cached,
+                elapsed_seconds=result.elapsed_seconds,
+                assessment=assessment_to_json(result.assessment),
+            )
+        else:
+            record.update(
+                fingerprint=result.fingerprint,
+                cached=result.cached,
+                elapsed_seconds=result.elapsed_seconds,
+                error=result.error,
+            )
+            failures += 1
+        lines.append(json.dumps(record, sort_keys=True))
+
+    text = "\n".join(lines) + "\n"
+    if args.output is None:
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{len(lines)} result(s) written to {args.output}"
+              + (f" ({failures} failed)" if failures else ""))
+    return 1 if failures == len(lines) and lines else 0
+
+
+# -- repro-serve ------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the Assess-Risk engine over HTTP "
+        "(POST /assess, GET /healthz, GET /metrics).",
+    )
+    _add_version_flag(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist assessment results under DIR",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=256,
+        help="in-memory result-cache capacity (default 256)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+    return parser
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-serve``; returns a process exit code."""
+    from repro.service import AssessmentCache, AssessmentEngine, make_server
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        engine = AssessmentEngine(
+            cache=AssessmentCache(capacity=args.capacity, directory=args.cache_dir)
+        )
+        server = make_server(
+            host=args.host, port=args.port, engine=engine, quiet=not args.verbose
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    print(f"repro-serve {package_version()} listening on http://{host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
     return 0
 
 

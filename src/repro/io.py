@@ -27,6 +27,7 @@ from repro.errors import FormatError
 from repro.recipe.assess import Decision, RiskAssessment
 
 __all__ = [
+    "SCHEMA_VERSION",
     "belief_to_json",
     "belief_from_json",
     "profile_to_json",
@@ -38,6 +39,24 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+#: Version of the JSON artifact format.  Bump whenever a serialized shape
+#: changes incompatibly; readers reject payloads from a *newer* format so
+#: that caches (see :mod:`repro.service.cache`) never deserialize fields
+#: they do not understand.  Payloads with no version key are treated as
+#: version 1 (the pre-versioning format) and still load.
+SCHEMA_VERSION = 2
+
+
+def _check_schema(payload: dict) -> None:
+    version = payload.get("schema_version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise FormatError(f"malformed schema_version: {version!r}")
+    if version > SCHEMA_VERSION:
+        raise FormatError(
+            f"artifact uses schema version {version}, "
+            f"but this library only understands <= {SCHEMA_VERSION}"
+        )
 
 
 def _encode_item(item: object) -> list:
@@ -64,6 +83,7 @@ def belief_to_json(belief: BeliefFunction) -> dict:
     """A JSON-ready representation of a belief function."""
     return {
         "type": "belief_function",
+        "schema_version": SCHEMA_VERSION,
         "intervals": [
             [_encode_item(item), interval.low, interval.high]
             for item, interval in sorted(belief.items(), key=lambda kv: repr(kv[0]))
@@ -75,6 +95,7 @@ def belief_from_json(payload: dict) -> BeliefFunction:
     """Rebuild a belief function written by :func:`belief_to_json`."""
     if payload.get("type") != "belief_function":
         raise FormatError("payload is not a serialized belief function")
+    _check_schema(payload)
     intervals = {}
     for entry in payload["intervals"]:
         if not isinstance(entry, list) or len(entry) != 3:
@@ -88,6 +109,7 @@ def profile_to_json(profile: FrequencyProfile) -> dict:
     """A JSON-ready representation of a frequency profile."""
     return {
         "type": "frequency_profile",
+        "schema_version": SCHEMA_VERSION,
         "n_transactions": profile.n_transactions,
         "counts": [
             [_encode_item(item), int(count)]
@@ -100,6 +122,7 @@ def profile_from_json(payload: dict) -> FrequencyProfile:
     """Rebuild a frequency profile written by :func:`profile_to_json`."""
     if payload.get("type") != "frequency_profile":
         raise FormatError("payload is not a serialized frequency profile")
+    _check_schema(payload)
     counts = {}
     for entry in payload["counts"]:
         if not isinstance(entry, list) or len(entry) != 2:
@@ -114,12 +137,20 @@ def assessment_to_json(assessment: RiskAssessment) -> dict:
     estimate = assessment.interval_estimate
     return {
         "type": "risk_assessment",
+        "schema_version": SCHEMA_VERSION,
         "decision": assessment.decision.name,
         "tolerance": assessment.tolerance,
         "n_items": assessment.n_items,
         "g": assessment.g,
         "delta": assessment.delta,
         "alpha_max": assessment.alpha_max,
+        "interest": None
+        if assessment.interest is None
+        else [
+            _encode_item(item)
+            for item in sorted(assessment.interest, key=repr)
+        ],
+        "runs": assessment.runs,
         "interval_estimate": None
         if estimate is None
         else {
@@ -136,6 +167,7 @@ def assessment_from_json(payload: dict) -> RiskAssessment:
     """Rebuild an assessment written by :func:`assessment_to_json`."""
     if payload.get("type") != "risk_assessment":
         raise FormatError("payload is not a serialized risk assessment")
+    _check_schema(payload)
     try:
         decision = Decision[payload["decision"]]
     except KeyError as exc:
@@ -152,6 +184,12 @@ def assessment_from_json(payload: dict) -> RiskAssessment:
             propagated=bool(raw_estimate.get("propagated", False)),
         )
     )
+    raw_interest = payload.get("interest")
+    interest = (
+        None
+        if raw_interest is None
+        else frozenset(_decode_item(entry) for entry in raw_interest)
+    )
     return RiskAssessment(
         decision=decision,
         tolerance=float(payload["tolerance"]),
@@ -160,6 +198,8 @@ def assessment_from_json(payload: dict) -> RiskAssessment:
         delta=None if payload.get("delta") is None else float(payload["delta"]),
         interval_estimate=estimate,
         alpha_max=None if payload.get("alpha_max") is None else float(payload["alpha_max"]),
+        interest=interest,
+        runs=None if payload.get("runs") is None else int(payload["runs"]),
     )
 
 

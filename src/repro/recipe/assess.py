@@ -66,6 +66,12 @@ class RiskAssessment:
     alpha_max:
         Largest tolerable degree of compliancy (step 9), ``None`` unless
         the recipe reached step 8.
+    interest:
+        The owner's subset ``I_1`` of items of interest (Lemmas 2 and 4),
+        ``None`` when every item counted.
+    runs:
+        Averaging runs used by the alpha-compliant stage, ``None`` when
+        the recipe stopped before step 8.
     """
 
     decision: Decision
@@ -75,6 +81,8 @@ class RiskAssessment:
     delta: float | None = None
     interval_estimate: OEstimateResult | None = None
     alpha_max: float | None = None
+    interest: frozenset | None = None
+    runs: int | None = None
 
     @property
     def disclose(self) -> bool:
@@ -88,6 +96,8 @@ class RiskAssessment:
             f"point-valued expected cracks g = {self.g} "
             f"({self.g / self.n_items:.4f} of domain)",
         ]
+        if self.interest is not None:
+            lines.append(f"interest subset: {len(self.interest)} items")
         if self.delta is not None:
             lines.append(f"interval half-width delta_med = {self.delta:.6g}")
         if self.interval_estimate is not None:
@@ -157,6 +167,7 @@ def assess_risk(
             tolerance=tolerance,
             n_items=n,
             g=g,
+            interest=interest,
         )
 
     # Steps 3-5: compliant interval belief with the median-gap width.
@@ -179,6 +190,7 @@ def assess_risk(
             g=g,
             delta=delta,
             interval_estimate=estimate,
+            interest=interest,
         )
 
     # Steps 8-9: search for the largest tolerable degree of compliancy.
@@ -191,4 +203,6 @@ def assess_risk(
         delta=delta,
         interval_estimate=estimate,
         alpha_max=alpha,
+        interest=interest,
+        runs=runs,
     )

@@ -1,0 +1,46 @@
+"""The risk-assessment service layer.
+
+Turns the one-shot Assess-Risk recipe into a reusable, cache-backed,
+parallel engine with an HTTP front end:
+
+* :mod:`repro.service.fingerprint` — content-addressed request hashes
+  and fingerprint-derived deterministic seeds.
+* :mod:`repro.service.cache` — two-tier (memory LRU + JSON disk) result
+  cache with hit/miss/eviction counters.
+* :mod:`repro.service.engine` — :class:`AssessmentEngine` with
+  ``assess``, ``assess_many`` and ``sweep_tolerance``, sharing the
+  expensive recipe intermediates across requests.
+* :mod:`repro.service.pool` — process-pool fan-out with per-job error
+  capture and scheduling-independent results.
+* :mod:`repro.service.metrics` — counters and per-stage timers.
+* :mod:`repro.service.server` — a stdlib ``http.server`` JSON API
+  (``POST /assess``, ``GET /healthz``, ``GET /metrics``).
+"""
+
+from repro.service.cache import AssessmentCache
+from repro.service.engine import AssessmentEngine, AssessmentOutcome, BatchResult
+from repro.service.fingerprint import (
+    AssessmentParams,
+    derived_seed,
+    profile_fingerprint,
+    request_fingerprint,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import run_batch
+from repro.service.server import AssessmentServer, make_server, serve
+
+__all__ = [
+    "AssessmentCache",
+    "AssessmentEngine",
+    "AssessmentOutcome",
+    "AssessmentParams",
+    "AssessmentServer",
+    "BatchResult",
+    "ServiceMetrics",
+    "derived_seed",
+    "make_server",
+    "profile_fingerprint",
+    "request_fingerprint",
+    "run_batch",
+    "serve",
+]

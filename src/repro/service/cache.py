@@ -1,0 +1,162 @@
+"""Two-tier result cache keyed by request fingerprint.
+
+Tier 1 is an in-memory LRU of :class:`RiskAssessment` objects; tier 2 is
+an optional on-disk store of one JSON file per fingerprint, written with
+the :mod:`repro.io` round-trip so cached decisions double as auditable
+artifacts.  Disk entries carry :data:`repro.io.SCHEMA_VERSION`; a file
+written by an older (or newer) format is discarded on read instead of
+being deserialized into the wrong shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Union
+
+from repro.errors import FormatError, ReproError
+from repro.io import (
+    SCHEMA_VERSION,
+    assessment_from_json,
+    assessment_to_json,
+    load_json,
+    save_json,
+)
+from repro.recipe.assess import RiskAssessment
+
+__all__ = ["AssessmentCache"]
+
+PathLike = Union[str, Path]
+
+
+class AssessmentCache:
+    """LRU memory cache with optional JSON disk persistence.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of assessments held in memory; the least recently
+        used entry is evicted first.
+    directory:
+        When given, every ``put`` also writes ``<fingerprint>.json``
+        under it, and a memory miss falls through to disk — so a fresh
+        process (or a pool worker) warm-starts from earlier runs.
+    """
+
+    def __init__(self, capacity: int = 256, directory: PathLike | None = None):
+        if capacity < 1:
+            raise ReproError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.directory = None if directory is None else Path(directory)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, RiskAssessment] = OrderedDict()
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "evictions": 0,
+            "invalidated": 0,
+        }
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> RiskAssessment | None:
+        """The cached assessment for *fingerprint*, or ``None`` on a miss."""
+        with self._lock:
+            cached = self._memory.get(fingerprint)
+            if cached is not None:
+                self._memory.move_to_end(fingerprint)
+                self._stats["hits"] += 1
+                self._stats["memory_hits"] += 1
+                return cached
+        assessment = self._read_disk(fingerprint)
+        with self._lock:
+            if assessment is None:
+                self._stats["misses"] += 1
+                return None
+            self._stats["hits"] += 1
+            self._stats["disk_hits"] += 1
+            self._store_memory(fingerprint, assessment)
+            return assessment
+
+    def put(self, fingerprint: str, assessment: RiskAssessment) -> None:
+        """Insert (or refresh) an assessment under *fingerprint*."""
+        with self._lock:
+            self._store_memory(fingerprint, assessment)
+        if self.directory is not None:
+            save_json(
+                {
+                    "type": "cached_assessment",
+                    "schema_version": SCHEMA_VERSION,
+                    "fingerprint": fingerprint,
+                    "assessment": assessment_to_json(assessment),
+                },
+                self._path(fingerprint),
+            )
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._memory
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # -- management -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current size and capacity."""
+        with self._lock:
+            return dict(
+                self._stats,
+                size=len(self._memory),
+                capacity=self.capacity,
+                persistent=self.directory is not None,
+            )
+
+    def clear(self, disk: bool = False) -> None:
+        """Empty the memory tier (and, with ``disk=True``, the disk tier)."""
+        with self._lock:
+            self._memory.clear()
+        if disk and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+
+    # -- internals --------------------------------------------------------
+
+    def _store_memory(self, fingerprint: str, assessment: RiskAssessment) -> None:
+        self._memory[fingerprint] = assessment
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self._stats["evictions"] += 1
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def _read_disk(self, fingerprint: str) -> RiskAssessment | None:
+        if self.directory is None:
+            return None
+        path = self._path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            payload = load_json(path)
+            if payload.get("type") != "cached_assessment":
+                raise FormatError("not a cached assessment")
+            version = payload.get("schema_version")
+            if version != SCHEMA_VERSION:
+                raise FormatError(f"schema version {version} != {SCHEMA_VERSION}")
+            if payload.get("fingerprint") != fingerprint:
+                raise FormatError("fingerprint mismatch")
+            return assessment_from_json(payload["assessment"])
+        except (ReproError, KeyError, TypeError, OSError):
+            # A stale or corrupt artifact: invalidate rather than serve it.
+            with self._lock:
+                self._stats["invalidated"] += 1
+            path.unlink(missing_ok=True)
+            return None

@@ -1,0 +1,401 @@
+"""The reusable Assess-Risk engine behind the service layer.
+
+:func:`repro.recipe.assess.assess_risk` answers one question from
+scratch.  The :class:`AssessmentEngine` turns that recipe into a
+server-grade component:
+
+* **Result cache** — answers are content-addressed by
+  :func:`~repro.service.fingerprint.request_fingerprint`; a repeated
+  question is a dictionary lookup (plus an optional disk tier, see
+  :class:`~repro.service.cache.AssessmentCache`).
+* **Shared intermediates** — the expensive inputs of the recipe stages
+  (:class:`FrequencyGroups` per profile; belief + bipartite
+  :class:`MappingSpace` per ``(profile, delta)``) are memoized, so a
+  tolerance sweep over one release, or a batch of requests against the
+  same data, builds them once.
+* **Deterministic randomness** — the alpha stage's RNG is seeded from
+  the request fingerprint (:func:`~repro.service.fingerprint.derived_seed`),
+  so the same question yields byte-identical JSON whether it runs
+  inline, through :meth:`assess_many` with one worker, or fanned out
+  across a process pool.
+
+The per-stage arithmetic deliberately mirrors ``assess_risk`` line for
+line; ``tests/test_service.py`` pins the equivalence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.beliefs.builders import uniform_width_belief
+from repro.core.alpha import alpha_max as compute_alpha_max
+from repro.core.oestimate import o_estimate
+from repro.data.database import FrequencyProfile, FrequencySource
+from repro.data.frequency import FrequencyGroups
+from repro.errors import RecipeError
+from repro.graph.bipartite import space_from_frequencies
+from repro.recipe.assess import Decision, RiskAssessment
+from repro.service.cache import AssessmentCache
+from repro.service.fingerprint import (
+    AssessmentParams,
+    derived_seed,
+    profile_fingerprint,
+    request_fingerprint,
+)
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["AssessmentOutcome", "BatchResult", "AssessmentEngine"]
+
+
+@dataclass(frozen=True)
+class AssessmentOutcome:
+    """One answered question: the assessment plus serving metadata."""
+
+    assessment: RiskAssessment
+    fingerprint: str
+    cached: bool
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One slot of an :meth:`AssessmentEngine.assess_many` batch.
+
+    Either *assessment* is set (``ok``) or *error* carries the message of
+    the exception that job raised — one bad dataset never kills a batch.
+    """
+
+    index: int
+    fingerprint: str
+    assessment: RiskAssessment | None
+    error: str | None
+    cached: bool
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.assessment is not None
+
+
+class _LRU:
+    """A tiny bounded mapping for memoized intermediates (thread-safe)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+
+def _as_profile(source: FrequencySource) -> FrequencyProfile:
+    if isinstance(source, FrequencyProfile):
+        return source
+    to_profile = getattr(source, "to_profile", None)
+    if to_profile is not None:
+        return to_profile()
+    counts = {item: source.item_count(item) for item in source.domain}
+    return FrequencyProfile(counts, source.n_transactions)
+
+
+class AssessmentEngine:
+    """Cached, intermediate-sharing executor of the Assess-Risk recipe.
+
+    Parameters
+    ----------
+    cache:
+        Result cache; defaults to a fresh in-memory
+        :class:`AssessmentCache`.
+    metrics:
+        Shared :class:`ServiceMetrics`; defaults to a private instance.
+    max_profiles, max_spaces:
+        Bounds on the memoized intermediates (frequency groups per
+        profile; belief/space per ``(profile, delta)``).
+    """
+
+    def __init__(
+        self,
+        cache: AssessmentCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        max_profiles: int = 16,
+        max_spaces: int = 8,
+    ):
+        self.cache = AssessmentCache() if cache is None else cache
+        self.metrics = ServiceMetrics() if metrics is None else metrics
+        self._profiles = _LRU(max_profiles)
+        self._spaces = _LRU(max_spaces)
+        # id() -> (profile, fingerprint).  Holding the profile keeps its
+        # id() valid for as long as the entry lives, so re-assessing the
+        # same object (sweeps, repeated server hits) skips the content
+        # hash entirely.
+        self._fingerprints = _LRU(max_profiles * 2)
+
+    # -- single requests --------------------------------------------------
+
+    def assess(
+        self,
+        source: FrequencySource,
+        tolerance: float,
+        *,
+        delta: float | None = None,
+        runs: int = 5,
+        seed: int = 0,
+        interest: Iterable | None = None,
+    ) -> AssessmentOutcome:
+        """Answer one question, through the cache."""
+        params = AssessmentParams(
+            tolerance=tolerance, delta=delta, runs=runs, seed=seed,
+            interest=None if interest is None else frozenset(interest),
+        )
+        return self.assess_request(source, params)
+
+    def assess_request(
+        self, source: FrequencySource, params: AssessmentParams
+    ) -> AssessmentOutcome:
+        """Answer one pre-packaged request, through the cache."""
+        start = time.perf_counter()
+        self.metrics.increment("requests")
+        profile = _as_profile(source)
+        fingerprint = request_fingerprint(
+            profile, params, profile_hash=self._profile_fp(profile)
+        )
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            self.metrics.increment("cache_hits")
+            return AssessmentOutcome(
+                assessment=cached,
+                fingerprint=fingerprint,
+                cached=True,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        self.metrics.increment("computed")
+        with self.metrics.timer("assess"):
+            assessment = self._compute(profile, params, fingerprint)
+        self.cache.put(fingerprint, assessment)
+        return AssessmentOutcome(
+            assessment=assessment,
+            fingerprint=fingerprint,
+            cached=False,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # -- batches and sweeps ----------------------------------------------
+
+    def assess_many(
+        self,
+        requests: Sequence[tuple[FrequencySource, AssessmentParams]],
+        workers: int = 1,
+    ) -> list[BatchResult]:
+        """Answer a batch, optionally fanned out across processes.
+
+        Results are returned in input order and are identical for any
+        *workers* value (per-job seeds derive from the fingerprints, not
+        from scheduling).  Cache hits are served without touching the
+        pool; computed results are inserted into the cache.
+        """
+        jobs: list[tuple[int, FrequencyProfile, AssessmentParams, str]] = []
+        results: dict[int, BatchResult] = {}
+        for index, (source, params) in enumerate(requests):
+            start = time.perf_counter()
+            self.metrics.increment("requests")
+            profile = _as_profile(source)
+            fingerprint = request_fingerprint(
+                profile, params, profile_hash=self._profile_fp(profile)
+            )
+            cached = self.cache.get(fingerprint)
+            if cached is not None:
+                self.metrics.increment("cache_hits")
+                results[index] = BatchResult(
+                    index=index,
+                    fingerprint=fingerprint,
+                    assessment=cached,
+                    error=None,
+                    cached=True,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            else:
+                jobs.append((index, profile, params, fingerprint))
+
+        if jobs and workers <= 1:
+            for index, profile, params, fingerprint in jobs:
+                start = time.perf_counter()
+                try:
+                    self.metrics.increment("computed")
+                    with self.metrics.timer("assess"):
+                        assessment = self._compute(profile, params, fingerprint)
+                    self.cache.put(fingerprint, assessment)
+                    results[index] = BatchResult(
+                        index=index,
+                        fingerprint=fingerprint,
+                        assessment=assessment,
+                        error=None,
+                        cached=False,
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+                except Exception as exc:  # per-job capture, batch survives
+                    self.metrics.increment("errors")
+                    results[index] = BatchResult(
+                        index=index,
+                        fingerprint=fingerprint,
+                        assessment=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        cached=False,
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+        elif jobs:
+            from repro.service.pool import run_batch
+
+            for result in run_batch(jobs, workers=workers):
+                if result.ok:
+                    self.metrics.increment("computed")
+                    self.cache.put(result.fingerprint, result.assessment)
+                else:
+                    self.metrics.increment("errors")
+                results[result.index] = result
+
+        return [results[index] for index in range(len(requests))]
+
+    def sweep_tolerance(
+        self,
+        source: FrequencySource,
+        tolerances: Sequence[float],
+        *,
+        delta: float | None = None,
+        runs: int = 5,
+        seed: int = 0,
+        interest: Iterable | None = None,
+    ) -> list[AssessmentOutcome]:
+        """Assess one release under many tolerances, sharing one space.
+
+        The memoized intermediates make this build the frequency groups,
+        belief and bipartite space once for the whole sweep instead of
+        once per tolerance.
+        """
+        return [
+            self.assess(
+                source, tolerance, delta=delta, runs=runs, seed=seed,
+                interest=interest,
+            )
+            for tolerance in tolerances
+        ]
+
+    # -- shared intermediates ---------------------------------------------
+
+    def _profile_fp(self, profile: FrequencyProfile) -> str:
+        """The profile's content hash, memoized per object identity."""
+        key = id(profile)
+        memo = self._fingerprints.get(key)
+        if memo is not None and memo[0] is profile:
+            return memo[1]
+        fingerprint = profile_fingerprint(profile)
+        self._fingerprints.put(key, (profile, fingerprint))
+        return fingerprint
+
+    def _profile_state(self, profile: FrequencyProfile) -> tuple[str, dict, FrequencyGroups]:
+        key = self._profile_fp(profile)
+        state = self._profiles.get(key)
+        if state is None:
+            with self.metrics.timer("stage:groups"):
+                frequencies = profile.frequencies()
+                state = (frequencies, FrequencyGroups(frequencies))
+            self._profiles.put(key, state)
+        return key, state[0], state[1]
+
+    def _space_state(self, profile_key: str, frequencies: dict, delta: float):
+        key = (profile_key, delta)
+        space = self._spaces.get(key)
+        if space is None:
+            with self.metrics.timer("stage:space"):
+                belief = uniform_width_belief(frequencies, delta)
+                space = space_from_frequencies(belief, frequencies)
+            self._spaces.put(key, space)
+        return space
+
+    # -- the recipe, stage by stage ---------------------------------------
+
+    def _compute(
+        self, profile: FrequencyProfile, params: AssessmentParams, fingerprint: str
+    ) -> RiskAssessment:
+        profile_key, frequencies, groups = self._profile_state(profile)
+        n = len(frequencies)
+        g = len(groups)
+        interest = params.interest
+        basis = n if interest is None else len(interest)
+        tolerance = params.tolerance
+
+        # Steps 1-2: point-valued worst case (Lemma 3 / Lemma 4).
+        if interest is None:
+            point_valued = float(g)
+        else:
+            from repro.core.exact import expected_cracks_point_valued_subset
+
+            point_valued = expected_cracks_point_valued_subset(groups, interest)
+        if point_valued <= tolerance * basis:
+            return RiskAssessment(
+                decision=Decision.DISCLOSE_POINT_VALUED,
+                tolerance=tolerance,
+                n_items=n,
+                g=g,
+                interest=interest,
+            )
+
+        # Steps 3-5: compliant interval belief with the median-gap width.
+        delta = params.delta
+        if delta is None:
+            if g < 2:
+                raise RecipeError(
+                    "a single frequency group has no gaps; pass delta explicitly"
+                )
+            delta = groups.median_gap()
+        space = self._space_state(profile_key, frequencies, delta)
+
+        # Steps 6-7: the fully compliant O-estimate.
+        with self.metrics.timer("stage:oestimate"):
+            estimate = o_estimate(space, interest=interest)
+        if estimate.value <= tolerance * basis:
+            return RiskAssessment(
+                decision=Decision.DISCLOSE_INTERVAL,
+                tolerance=tolerance,
+                n_items=n,
+                g=g,
+                delta=delta,
+                interval_estimate=estimate,
+                interest=interest,
+            )
+
+        # Steps 8-9: largest tolerable degree of compliancy, with the
+        # RNG pinned to the request fingerprint for reproducibility.
+        rng = np.random.default_rng(derived_seed(fingerprint))
+        with self.metrics.timer("stage:alpha"):
+            alpha = compute_alpha_max(
+                space, tolerance, runs=params.runs, rng=rng, interest=interest
+            )
+        return RiskAssessment(
+            decision=Decision.ALPHA_BOUND,
+            tolerance=tolerance,
+            n_items=n,
+            g=g,
+            delta=delta,
+            interval_estimate=estimate,
+            alpha_max=alpha,
+            interest=interest,
+            runs=params.runs,
+        )

@@ -1,0 +1,171 @@
+"""Content-addressed fingerprints for assessment requests.
+
+The service layer recognizes "the same question asked twice" by
+fingerprinting its inputs: a canonical, order-independent SHA-256 hash of
+the frequency profile's counts together with the recipe parameters
+(tolerance, delta, runs, seed, interest).  Two requests with equal
+fingerprints are guaranteed to produce the same :class:`RiskAssessment`
+— the recipe's only randomness (the alpha stage's permutations) is
+seeded from the fingerprint itself via :func:`derived_seed`, so results
+are reproducible regardless of which worker runs the job or in what
+order a batch is scheduled.
+
+The canonical payload sorts items by their tagged encoding (the same
+``["int"|"str", value]`` tags :mod:`repro.io` uses), so insertion order
+of the counts mapping never influences the hash, and it embeds
+:data:`repro.io.SCHEMA_VERSION` so cached artifacts are invalidated
+whenever the serialization format changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.data.database import FrequencySource
+from repro.errors import RecipeError
+from repro.io import SCHEMA_VERSION, _encode_item
+
+__all__ = [
+    "AssessmentParams",
+    "profile_fingerprint",
+    "request_fingerprint",
+    "derived_seed",
+]
+
+
+@dataclass(frozen=True)
+class AssessmentParams:
+    """The non-data inputs of one Assess-Risk invocation.
+
+    Mirrors the signature of :func:`repro.recipe.assess.assess_risk`;
+    *seed* replaces the ``rng`` argument so the request stays hashable
+    and serializable.
+    """
+
+    tolerance: float
+    delta: float | None = None
+    runs: int = 5
+    seed: int = 0
+    interest: frozenset | None = field(default=None)
+
+    def __post_init__(self):
+        if not 0.0 <= self.tolerance <= 1.0:
+            raise RecipeError(f"tolerance must be in [0, 1], got {self.tolerance}")
+        if self.runs <= 0:
+            raise RecipeError(f"need at least one run, got {self.runs}")
+        if self.interest is not None and not isinstance(self.interest, frozenset):
+            object.__setattr__(self, "interest", frozenset(self.interest))
+        if self.interest is not None and not self.interest:
+            raise RecipeError("the interest subset must be non-empty")
+
+    def canonical(self) -> dict:
+        """A JSON-ready, order-independent representation."""
+        return {
+            "tolerance": float(self.tolerance),
+            "delta": None if self.delta is None else float(self.delta),
+            "runs": int(self.runs),
+            "seed": int(self.seed),
+            "interest": None
+            if self.interest is None
+            else sorted((_encode_item(item) for item in self.interest)),
+        }
+
+    def to_json(self) -> dict:
+        """Alias of :meth:`canonical` for transport (pool jobs, HTTP)."""
+        return self.canonical()
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AssessmentParams":
+        """Rebuild params written by :meth:`to_json` (tagged interest)."""
+        from repro.io import _decode_item
+
+        interest = payload.get("interest")
+        return cls(
+            tolerance=float(payload["tolerance"]),
+            delta=None if payload.get("delta") is None else float(payload["delta"]),
+            runs=int(payload.get("runs", 5)),
+            seed=int(payload.get("seed", 0)),
+            interest=None
+            if interest is None
+            else frozenset(_decode_item(entry) for entry in interest),
+        )
+
+
+def _canonical_count_entries(source: FrequencySource) -> list:
+    """``(kind, text, count)`` triples sorted by tagged item encoding.
+
+    Sorting by the ``(kind, text)`` tag makes the result independent of
+    the counts mapping's insertion order; the length-prefixed rendering
+    in :func:`profile_fingerprint` keeps the encoding injective even for
+    item strings containing the separators.
+    """
+    counts = getattr(source, "counts", None)
+    if not isinstance(counts, dict):
+        counts = {item: source.item_count(item) for item in source.domain}
+    entries = []
+    for item, count in counts.items():
+        if isinstance(item, bool) or not isinstance(item, (int, str)):
+            # Same restriction as repro.io: only int/str items serialize.
+            _encode_item(item)
+        kind = "int" if isinstance(item, int) else "str"
+        entries.append((kind, str(item), int(count)))
+    entries.sort()
+    return entries
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def profile_fingerprint(source: FrequencySource) -> str:
+    """Content hash of the data alone (counts + transaction total)."""
+    entries = _canonical_count_entries(source)
+    body = "\x1e".join(
+        f"{kind}\x1f{len(text)}\x1f{text}\x1f{count}"
+        for kind, text, count in entries
+    )
+    canonical = (
+        f"schema={SCHEMA_VERSION};kind=profile;"
+        f"m={int(source.n_transactions)};counts=" + body
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def request_fingerprint(
+    source: FrequencySource,
+    params: AssessmentParams,
+    profile_hash: str | None = None,
+) -> str:
+    """Content hash of one full question: data + recipe parameters.
+
+    *profile_hash* lets callers that already hold the profile's
+    fingerprint (the engine memoizes it) skip rehashing the counts.
+    """
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": "request",
+            "profile": profile_hash or profile_fingerprint(source),
+            "params": params.canonical(),
+        }
+    )
+
+
+def derived_seed(fingerprint: str) -> int:
+    """A deterministic RNG seed for the request with this fingerprint.
+
+    Jobs seeded this way give identical results whether they run inline,
+    in a 1-worker pool, or interleaved across 4 processes.
+    """
+    return int(fingerprint[:16], 16) & (2**63 - 1)
+
+
+def interest_from_raw(items: "Iterable | None") -> frozenset | None:
+    """Normalize a raw iterable of items (e.g. parsed JSON) to a frozenset."""
+    if items is None:
+        return None
+    return frozenset(items)

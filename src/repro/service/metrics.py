@@ -1,0 +1,70 @@
+"""Lightweight service metrics: counters and per-stage wall-clock timers.
+
+The engine and HTTP server share one :class:`ServiceMetrics` instance;
+``GET /metrics`` serves its :meth:`~ServiceMetrics.snapshot`.  Everything
+is guarded by a single lock so the threaded server can record from
+concurrent requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Named counters plus named (count, total seconds) timers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._timer_counts: dict[str, int] = {}
+        self._timer_totals: dict[str, float] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name* (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one observation of *seconds* under the timer *name*."""
+        with self._lock:
+            self._timer_counts[name] = self._timer_counts.get(name, 0) + 1
+            self._timer_totals[name] = self._timer_totals.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager timing its body with :func:`time.perf_counter`."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every counter and timer."""
+        with self._lock:
+            timers = {
+                name: {
+                    "count": count,
+                    "total_seconds": self._timer_totals[name],
+                    "mean_seconds": self._timer_totals[name] / count,
+                }
+                for name, count in self._timer_counts.items()
+            }
+            return {"counters": dict(self._counters), "timers": timers}
+
+    def reset(self) -> None:
+        """Drop every counter and timer."""
+        with self._lock:
+            self._counters.clear()
+            self._timer_counts.clear()
+            self._timer_totals.clear()

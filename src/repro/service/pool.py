@@ -1,0 +1,111 @@
+"""Process-pool fan-out for batched assessments.
+
+Jobs travel to workers as plain JSON payloads (the :mod:`repro.io`
+round-trip), so nothing non-picklable crosses the process boundary.
+Each worker process keeps one module-level :class:`AssessmentEngine`, so
+several jobs against the same release share its memoized intermediates
+just like in the parent.
+
+Determinism does not depend on scheduling: every job's RNG seed derives
+from its request fingerprint, so a batch returns byte-identical JSON
+with 1 worker or 4.  Exceptions are captured per job — a bad dataset
+yields an errored :class:`BatchResult`, not a dead batch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.data.database import FrequencyProfile
+from repro.errors import ReproError
+from repro.io import (
+    assessment_from_json,
+    assessment_to_json,
+    profile_from_json,
+    profile_to_json,
+)
+from repro.service.fingerprint import AssessmentParams
+
+__all__ = ["run_batch", "preferred_context"]
+
+#: Each pool worker reuses one engine (and its memoized intermediates)
+#: across all jobs it is handed.
+_WORKER_ENGINE = None
+
+
+def preferred_context() -> multiprocessing.context.BaseContext:
+    """The cheapest available start method (fork where the OS allows)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _worker_assess(payload: tuple) -> tuple:
+    """Run one job inside a worker; never raises."""
+    index, fingerprint, profile_payload, params_payload = payload
+    start = time.perf_counter()
+    try:
+        global _WORKER_ENGINE
+        if _WORKER_ENGINE is None:
+            from repro.service.engine import AssessmentEngine
+
+            _WORKER_ENGINE = AssessmentEngine()
+        profile = profile_from_json(profile_payload)
+        params = AssessmentParams.from_json(params_payload)
+        outcome = _WORKER_ENGINE.assess_request(profile, params)
+        return (
+            index,
+            outcome.fingerprint,
+            assessment_to_json(outcome.assessment),
+            None,
+            time.perf_counter() - start,
+        )
+    except Exception as exc:
+        return (
+            index,
+            fingerprint,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - start,
+        )
+
+
+def run_batch(
+    jobs: Sequence[tuple[int, FrequencyProfile, AssessmentParams, str]],
+    workers: int,
+) -> list:
+    """Execute ``(index, profile, params, fingerprint)`` jobs in a pool.
+
+    Returns :class:`~repro.service.engine.BatchResult` objects in job
+    order.  ``workers`` is clamped to the number of jobs.
+    """
+    from repro.service.engine import BatchResult
+
+    if workers < 1:
+        raise ReproError(f"need at least one worker, got {workers}")
+    payloads = [
+        (index, fingerprint, profile_to_json(profile), params.to_json())
+        for index, profile, params, fingerprint in jobs
+    ]
+    results: list[BatchResult] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(payloads)), mp_context=preferred_context()
+    ) as executor:
+        for index, fingerprint, assessment_payload, error, elapsed in executor.map(
+            _worker_assess, payloads
+        ):
+            results.append(
+                BatchResult(
+                    index=index,
+                    fingerprint=fingerprint,
+                    assessment=None
+                    if assessment_payload is None
+                    else assessment_from_json(assessment_payload),
+                    error=error,
+                    cached=False,
+                    elapsed_seconds=elapsed,
+                )
+            )
+    return results

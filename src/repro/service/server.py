@@ -1,0 +1,156 @@
+"""A stdlib-only JSON HTTP front end for the assessment engine.
+
+Endpoints
+---------
+
+``POST /assess``
+    Body: ``{"profile": <profile_to_json payload>, "tolerance": 0.05,
+    "delta": null, "runs": 5, "seed": 0, "interest": [3, 7, "milk"]}``
+    (everything but ``profile`` and ``tolerance`` optional; *interest*
+    items are raw JSON ints/strings matching the profile's items).
+    Response: ``{"fingerprint", "cached", "elapsed_seconds",
+    "assessment": <assessment_to_json payload>}``.
+
+``GET /healthz``
+    Liveness probe; reports the package version.
+
+``GET /metrics``
+    Engine metrics snapshot plus cache counters.
+
+The server is a :class:`http.server.ThreadingHTTPServer`; the engine's
+cache and metrics are lock-guarded, so concurrent requests are safe.
+Bind port 0 to get an ephemeral port (see ``server.server_port``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import repro
+from repro.errors import ReproError
+from repro.io import assessment_to_json, profile_from_json
+from repro.service.engine import AssessmentEngine
+from repro.service.fingerprint import AssessmentParams
+
+__all__ = ["AssessmentServer", "make_server", "serve"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class AssessmentServer(ThreadingHTTPServer):
+    """An HTTP server bound to one :class:`AssessmentEngine`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], engine: AssessmentEngine, quiet: bool = True):
+        self.engine = engine
+        self.quiet = quiet
+        super().__init__(address, _AssessmentHandler)
+
+
+class _AssessmentHandler(BaseHTTPRequestHandler):
+    server: AssessmentServer
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("empty request body")
+        if length > _MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length)
+        payload = json.loads(body)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- endpoints --------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", "version": repro.__version__})
+        elif self.path == "/metrics":
+            engine = self.server.engine
+            self._reply(
+                200,
+                {"metrics": engine.metrics.snapshot(), "cache": engine.cache.stats()},
+            )
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/assess":
+            self._reply(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            payload = self._read_json_body()
+            if "profile" not in payload:
+                raise ValueError("missing required key 'profile'")
+            if "tolerance" not in payload:
+                raise ValueError("missing required key 'tolerance'")
+            profile = profile_from_json(payload["profile"])
+            interest = payload.get("interest")
+            params = AssessmentParams(
+                tolerance=float(payload["tolerance"]),
+                delta=None if payload.get("delta") is None else float(payload["delta"]),
+                runs=int(payload.get("runs", 5)),
+                seed=int(payload.get("seed", 0)),
+                interest=None if interest is None else frozenset(interest),
+            )
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError, ReproError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        try:
+            outcome = self.server.engine.assess_request(profile, params)
+        except ReproError as exc:
+            self._reply(422, {"error": str(exc)})
+            return
+        self._reply(
+            200,
+            {
+                "fingerprint": outcome.fingerprint,
+                "cached": outcome.cached,
+                "elapsed_seconds": outcome.elapsed_seconds,
+                "assessment": assessment_to_json(outcome.assessment),
+            },
+        )
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    engine: AssessmentEngine | None = None,
+    quiet: bool = True,
+) -> AssessmentServer:
+    """Create (but do not start) a server; ``port=0`` picks a free port."""
+    return AssessmentServer((host, port), engine or AssessmentEngine(), quiet=quiet)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    engine: AssessmentEngine | None = None,
+    quiet: bool = False,
+) -> None:
+    """Run the API until interrupted (the ``repro-serve`` entry point)."""
+    server = make_server(host, port, engine, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
