@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 
 import pytest
@@ -25,7 +26,8 @@ import pytest
 from repro.datasets import load_benchmark
 from repro.io import assessment_to_json
 from repro.recipe import assess_risk
-from repro.service import AssessmentEngine, AssessmentParams
+from repro.service import AssessmentCache, AssessmentEngine, AssessmentParams
+from repro.service.faults import fault_point
 
 BATCH_BENCHMARKS = ("retail", "pumsb", "accidents", "connect")
 
@@ -160,6 +162,97 @@ def test_service_batch_throughput(report):
             "without a second core)"
         )
         report("service_batch_throughput", lines)
+
+
+def test_service_fault_point_overhead(report):
+    """An uninstrumented fault_point() must cost well under a microsecond.
+
+    fault_point() sits on the cache read/write and compute hot paths; the
+    no-injector fast path is one global load and a None check, so leaving
+    the hooks in production code has to be effectively free.
+    """
+    iterations = 1_000_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fault_point("bench.site")
+    elapsed = time.perf_counter() - start
+    per_call_ns = elapsed / iterations * 1e9
+
+    report(
+        "service_fault_point_overhead",
+        [
+            f"{iterations:,} uninstrumented fault_point() calls: {elapsed:6.3f} s",
+            f"per call: {per_call_ns:6.1f} ns (floor: < 1000 ns)",
+        ],
+    )
+    assert per_call_ns < 1000.0
+
+
+def test_service_single_flight_dedup(report):
+    """N threads asking the same cold question trigger exactly one compute.
+
+    Thread-count scaling is irrelevant here (and not asserted, per the
+    single-CPU host caveat): the point is the *compute count*, which the
+    single-flight path must hold at 1 no matter how many callers race.
+    """
+    profile = load_benchmark("retail").profile
+    engine = AssessmentEngine()
+    thread_count = 8
+    barrier = threading.Barrier(thread_count)
+    outcomes = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()
+        outcome = engine.assess(profile, 0.01, runs=25)
+        with lock:
+            outcomes.append(outcome)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    computed = engine.metrics.counter("computed")
+    coalesced = engine.cache.stats()["coalesced"]
+    assert computed == 1
+    assert len({id(outcome.assessment) for outcome in outcomes}) == 1
+    report(
+        "service_single_flight_dedup",
+        [
+            f"{thread_count} concurrent threads, same cold request (retail)",
+            f"wall clock: {elapsed:7.3f} s",
+            f"computes: {computed} (floor: exactly 1)",
+            f"coalesced waiters: {coalesced}, "
+            f"cache hits: {engine.metrics.counter('cache_hits')}",
+        ],
+    )
+
+
+def test_service_atomic_write_overhead(report, tmp_path):
+    """Disk-tier puts stay fast despite the temp-file + fsync + rename dance."""
+    report_obj = assess_risk(load_benchmark("chess").profile, 0.05)
+    cache = AssessmentCache(directory=tmp_path)
+    writes = 200
+
+    start = time.perf_counter()
+    for index in range(writes):
+        cache.put(f"fp{index:04d}", report_obj)
+    elapsed = time.perf_counter() - start
+
+    assert not list(tmp_path.glob("*.tmp"))  # every temp was promoted
+    assert len(list(tmp_path.glob("*.json"))) == writes
+    report(
+        "service_atomic_write_overhead",
+        [
+            f"{writes} atomic disk-tier puts (temp file + fsync + rename)",
+            f"wall clock: {elapsed:7.3f} s ({writes / elapsed:7.1f} puts/s)",
+            "no orphan temp files left behind",
+        ],
+    )
 
 
 def test_perf_engine_cold_assess(benchmark):

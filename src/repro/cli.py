@@ -35,7 +35,7 @@ from repro.data.stats import describe
 from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
 from repro.errors import FormatError, ReproError
 from repro.graph.bipartite import space_from_frequencies
-from repro.io import assessment_to_json, load_json, save_json
+from repro.io import assessment_to_json, load_json, save_json_atomic
 from repro.protect.planner import protect_to_tolerance
 from repro.recipe.assess import assess_risk
 from repro.recipe.report import full_report
@@ -192,7 +192,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"full report written to {args.full_report}")
 
         if args.save_assessment is not None:
-            save_json(assessment_to_json(report), args.save_assessment)
+            save_json_atomic(assessment_to_json(report), args.save_assessment)
             print(f"assessment written to {args.save_assessment}")
 
         if args.protect is not None:
@@ -259,6 +259,26 @@ def build_batch_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist assessment results under DIR (warm-starts later runs)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry transient per-job failures this many times (default 2)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout for pool jobs (default: none)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="inject faults from a JSON schedule ({\"rules\": [...]}, see "
+        "docs/service.md) — for failure-semantics testing",
+    )
     return parser
 
 
@@ -314,10 +334,14 @@ def _manifest_jobs(manifest: dict) -> list:
 
 def batch_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-batch``; returns a process exit code."""
+    from contextlib import nullcontext
+
     from repro.service import AssessmentCache, AssessmentEngine
+    from repro.service.faults import injected_faults, load_schedule
 
     args = build_batch_parser().parse_args(argv)
     try:
+        schedule = None if args.faults is None else load_schedule(args.faults)
         jobs = _manifest_jobs(load_json(args.manifest))
         engine = AssessmentEngine(
             cache=AssessmentCache(directory=args.cache_dir)
@@ -329,10 +353,19 @@ def batch_main(argv: Sequence[str] | None = None) -> int:
             for position, (_, profile, params, error) in enumerate(jobs)
             if error is None
         ]
-        results = engine.assess_many(
-            [(profile, params) for _, profile, params in runnable],
-            workers=args.workers,
-        )
+        with injected_faults(schedule) if schedule is not None else nullcontext():
+            results = engine.assess_many(
+                [(profile, params) for _, profile, params in runnable],
+                workers=args.workers,
+                retries=args.retries,
+                timeout_seconds=args.timeout,
+            )
+        if schedule is not None:
+            print(
+                f"fault injection: {len(schedule.events)} event(s) fired "
+                f"in this process (pool workers fire their own copies)",
+                file=sys.stderr,
+            )
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -407,12 +440,25 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful-shutdown drain window for in-flight requests "
+        "on SIGTERM/SIGINT (default 5.0)",
+    )
     return parser
 
 
 def serve_main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``repro-serve``; returns a process exit code."""
+    """Entry point of ``repro-serve``; returns a process exit code.
+
+    Runs until ``SIGTERM`` or ``SIGINT``, then stops accepting, drains
+    in-flight requests for up to ``--grace`` seconds, and exits 0.
+    """
     from repro.service import AssessmentCache, AssessmentEngine, make_server
+    from repro.service.server import run_until_signal
 
     args = build_serve_parser().parse_args(argv)
     try:
@@ -426,13 +472,12 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     host, port = server.server_address[:2]
-    print(f"repro-serve {package_version()} listening on http://{host}:{port}")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down")
-    finally:
-        server.server_close()
+    print(
+        f"repro-serve {package_version()} listening on http://{host}:{port}",
+        flush=True,
+    )
+    run_until_signal(server, grace_seconds=args.grace)
+    print("shutting down")
     return 0
 
 

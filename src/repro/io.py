@@ -16,8 +16,10 @@ items survive the trip (JSON object keys are always strings).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Callable, Union
 
 from repro.beliefs.function import BeliefFunction
 from repro.beliefs.interval import Interval
@@ -35,6 +37,7 @@ __all__ = [
     "assessment_to_json",
     "assessment_from_json",
     "save_json",
+    "save_json_atomic",
     "load_json",
 ]
 
@@ -208,6 +211,52 @@ def save_json(payload: dict, path: PathLike) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def save_json_atomic(
+    payload: dict,
+    path: PathLike,
+    fault_point: Callable[[str], None] | None = None,
+) -> None:
+    """Write a serialized artifact so readers never see a torn file.
+
+    The payload goes to a ``<name>.<random>.tmp`` sibling first (fsynced,
+    so the rename is not reordered before the data reaches the disk) and
+    is then moved over *path* with :func:`os.replace` — atomic on POSIX.
+    A crash at any point leaves either the old artifact or an orphan
+    ``*.tmp`` file, never a half-written JSON document at *path*.
+
+    *fault_point*, when given, is called with ``"tmp"`` (inside the open
+    temp file, before the JSON is written) and ``"replace"`` (after the
+    temp file is durable, before the rename) — the hook the service
+    layer's fault-injection harness uses to simulate mid-write crashes.
+    Ordinary exceptions clean the temp file up; a
+    :class:`BaseException` (e.g. an injected crash) leaves it behind,
+    exactly as a killed process would.
+    """
+    target = Path(path)
+    handle_fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            if fault_point is not None:
+                fault_point("tmp")
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if fault_point is not None:
+            fault_point("replace")
+        os.replace(tmp_name, target)
+    except Exception:
+        # A survivable failure: don't leak the temp file.  BaseException
+        # (simulated crash, KeyboardInterrupt) skips this on purpose.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_json(path: PathLike) -> dict:

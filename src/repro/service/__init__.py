@@ -12,13 +12,24 @@ parallel engine with an HTTP front end:
   expensive recipe intermediates across requests.
 * :mod:`repro.service.pool` — process-pool fan-out with per-job error
   capture and scheduling-independent results.
-* :mod:`repro.service.metrics` — counters and per-stage timers.
+* :mod:`repro.service.metrics` — counters, gauges and per-stage timers.
 * :mod:`repro.service.server` — a stdlib ``http.server`` JSON API
-  (``POST /assess``, ``GET /healthz``, ``GET /metrics``).
+  (``POST /assess``, ``GET /healthz``, ``GET /metrics``) with
+  structured errors and graceful signal-driven shutdown.
+* :mod:`repro.service.faults` — deterministic fault injection (errors,
+  crashes, latency) for testing the layer's failure semantics.
 """
 
 from repro.service.cache import AssessmentCache
 from repro.service.engine import AssessmentEngine, AssessmentOutcome, BatchResult
+from repro.service.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedCrash,
+    fault_point,
+    injected_faults,
+    load_schedule,
+)
 from repro.service.fingerprint import (
     AssessmentParams,
     derived_seed,
@@ -27,7 +38,12 @@ from repro.service.fingerprint import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import run_batch
-from repro.service.server import AssessmentServer, make_server, serve
+from repro.service.server import (
+    AssessmentServer,
+    make_server,
+    run_until_signal,
+    serve,
+)
 
 __all__ = [
     "AssessmentCache",
@@ -36,11 +52,18 @@ __all__ = [
     "AssessmentParams",
     "AssessmentServer",
     "BatchResult",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedCrash",
     "ServiceMetrics",
     "derived_seed",
+    "fault_point",
+    "injected_faults",
+    "load_schedule",
     "make_server",
     "profile_fingerprint",
     "request_fingerprint",
     "run_batch",
+    "run_until_signal",
     "serve",
 ]

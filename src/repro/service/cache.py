@@ -6,6 +6,22 @@ the :mod:`repro.io` round-trip so cached decisions double as auditable
 artifacts.  Disk entries carry :data:`repro.io.SCHEMA_VERSION`; a file
 written by an older (or newer) format is discarded on read instead of
 being deserialized into the wrong shape.
+
+Durability and concurrency guarantees (see ``docs/service.md``,
+"Failure semantics"):
+
+* **Atomic disk writes** — entries are written to a same-directory temp
+  file and moved into place with ``os.replace``; a reader (or a process
+  restarted after a crash) can never observe a truncated artifact.
+  Orphan ``*.tmp`` files left by a crash are swept — and counted as
+  ``invalidated`` — the next time a cache opens the directory.
+* **Single-flight lookups** — :meth:`get_or_compute` deduplicates
+  concurrent requests for the same fingerprint: one thread computes (or
+  reads disk), the rest wait on the in-flight result instead of racing
+  through the memory-miss / disk-read gap.
+* **Transient-read tolerance** — an ``OSError`` while reading the disk
+  tier is a miss (counted in ``read_errors``), not a reason to delete
+  the artifact; only structurally invalid entries are invalidated.
 """
 
 from __future__ import annotations
@@ -13,7 +29,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Union
+from typing import Callable, Union
 
 from repro.errors import FormatError, ReproError
 from repro.io import (
@@ -21,13 +37,25 @@ from repro.io import (
     assessment_from_json,
     assessment_to_json,
     load_json,
-    save_json,
+    save_json_atomic,
 )
 from repro.recipe.assess import RiskAssessment
+from repro.service.faults import fault_point
 
 __all__ = ["AssessmentCache"]
 
 PathLike = Union[str, Path]
+
+
+class _Flight:
+    """One in-flight lookup/computation other threads can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: RiskAssessment | None = None
+        self.error: BaseException | None = None
 
 
 class AssessmentCache:
@@ -49,58 +77,79 @@ class AssessmentCache:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.directory = None if directory is None else Path(directory)
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        # Serializes disk mutations (atomic writes vs. clear's unlinks),
+        # separate from _lock so slow I/O never blocks memory lookups.
+        self._disk_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
         self._memory: OrderedDict[str, RiskAssessment] = OrderedDict()
         self._stats = {
             "hits": 0,
             "misses": 0,
             "memory_hits": 0,
             "disk_hits": 0,
+            "coalesced": 0,
             "evictions": 0,
             "invalidated": 0,
+            "read_errors": 0,
+            "write_errors": 0,
         }
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.recover_orphans()
 
     # -- lookup -----------------------------------------------------------
 
     def get(self, fingerprint: str) -> RiskAssessment | None:
-        """The cached assessment for *fingerprint*, or ``None`` on a miss."""
-        with self._lock:
-            cached = self._memory.get(fingerprint)
-            if cached is not None:
-                self._memory.move_to_end(fingerprint)
-                self._stats["hits"] += 1
-                self._stats["memory_hits"] += 1
-                return cached
-        assessment = self._read_disk(fingerprint)
-        with self._lock:
-            if assessment is None:
-                self._stats["misses"] += 1
-                return None
-            self._stats["hits"] += 1
-            self._stats["disk_hits"] += 1
-            self._store_memory(fingerprint, assessment)
-            return assessment
+        """The cached assessment for *fingerprint*, or ``None`` on a miss.
+
+        Concurrent ``get`` calls for the same fingerprint share one disk
+        read (single flight); a ``get`` arriving while another thread is
+        computing the same fingerprint through :meth:`get_or_compute`
+        waits for — and shares — that thread's result.
+        """
+        assessment, _ = self._lookup(fingerprint, compute=None)
+        return assessment
+
+    def get_or_compute(
+        self, fingerprint: str, compute: Callable[[], RiskAssessment]
+    ) -> tuple[RiskAssessment, str]:
+        """Return the cached value or compute-and-insert it, single-flight.
+
+        Exactly one thread runs *compute* per in-flight fingerprint;
+        concurrent callers block and share the leader's result (or its
+        exception — the request is deterministic, so theirs would have
+        failed identically).  Returns ``(assessment, origin)`` with
+        *origin* one of ``"memory"``, ``"disk"``, ``"coalesced"`` or
+        ``"computed"``.
+        """
+        assessment, origin = self._lookup(fingerprint, compute=compute)
+        return assessment, origin
 
     def put(self, fingerprint: str, assessment: RiskAssessment) -> None:
-        """Insert (or refresh) an assessment under *fingerprint*."""
+        """Insert (or refresh) an assessment under *fingerprint*.
+
+        The disk write is atomic (temp file + ``os.replace``); an
+        ``OSError`` there is tolerated — the entry stays served from
+        memory and ``write_errors`` is incremented.
+        """
         with self._lock:
             self._store_memory(fingerprint, assessment)
-        if self.directory is not None:
-            save_json(
-                {
-                    "type": "cached_assessment",
-                    "schema_version": SCHEMA_VERSION,
-                    "fingerprint": fingerprint,
-                    "assessment": assessment_to_json(assessment),
-                },
-                self._path(fingerprint),
-            )
+        self._write_disk(fingerprint, assessment)
 
     def __contains__(self, fingerprint: str) -> bool:
+        """True when either tier holds *fingerprint*.
+
+        Consults the disk tier too (a plain existence probe — a corrupt
+        entry may report ``True`` until a ``get`` invalidates it), so
+        callers never re-run an assessment that is already persisted.
+        """
         with self._lock:
-            return fingerprint in self._memory
+            if fingerprint in self._memory:
+                return True
+        if self.directory is None:
+            return False
+        return self._path(fingerprint).exists()
 
     def __len__(self) -> int:
         with self._lock:
@@ -114,19 +163,119 @@ class AssessmentCache:
             return dict(
                 self._stats,
                 size=len(self._memory),
+                in_flight=len(self._flights),
                 capacity=self.capacity,
                 persistent=self.directory is not None,
             )
 
     def clear(self, disk: bool = False) -> None:
-        """Empty the memory tier (and, with ``disk=True``, the disk tier)."""
+        """Empty the memory tier (and, with ``disk=True``, the disk tier).
+
+        Also resets the hit/miss counters, so ``/metrics`` ratios after a
+        clear describe the cleared cache rather than its previous life.
+        Disk unlinks hold the same lock as writers, so a concurrent
+        ``put`` either completes before the sweep (and is removed) or
+        lands intact after it — never a torn state or an orphan temp
+        file.
+        """
         with self._lock:
             self._memory.clear()
+            for key in self._stats:
+                self._stats[key] = 0
         if disk and self.directory is not None:
-            for path in self.directory.glob("*.json"):
+            with self._disk_lock:
+                for pattern in ("*.json", "*.tmp"):
+                    for path in self.directory.glob(pattern):
+                        path.unlink(missing_ok=True)
+
+    def recover_orphans(self) -> int:
+        """Sweep ``*.tmp`` files left by a crashed writer; returns the count.
+
+        Runs automatically when a cache opens its directory.  Each orphan
+        is a write that never committed, so it is counted as
+        ``invalidated``.
+        """
+        if self.directory is None:
+            return 0
+        removed = 0
+        with self._disk_lock:
+            for path in self.directory.glob("*.tmp"):
                 path.unlink(missing_ok=True)
+                removed += 1
+        if removed:
+            with self._lock:
+                self._stats["invalidated"] += removed
+        return removed
 
     # -- internals --------------------------------------------------------
+
+    def _lookup(
+        self, fingerprint: str, compute: Callable[[], RiskAssessment] | None
+    ) -> tuple[RiskAssessment | None, str]:
+        while True:
+            with self._lock:
+                cached = self._memory.get(fingerprint)
+                if cached is not None:
+                    self._memory.move_to_end(fingerprint)
+                    self._stats["hits"] += 1
+                    self._stats["memory_hits"] += 1
+                    return cached, "memory"
+                flight = self._flights.get(fingerprint)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[fingerprint] = flight
+                    break  # this thread leads the flight
+            # Follower: wait for the leader's result.
+            flight.event.wait()
+            if flight.error is not None:
+                if compute is None:
+                    # A plain probe doesn't inherit the leader's failure.
+                    with self._lock:
+                        self._stats["misses"] += 1
+                    return None, "miss"
+                raise flight.error
+            if flight.value is not None:
+                with self._lock:
+                    self._stats["hits"] += 1
+                    self._stats["coalesced"] += 1
+                return flight.value, "coalesced"
+            if compute is None:
+                with self._lock:
+                    self._stats["misses"] += 1
+                return None, "miss"
+            # The leader was a plain get() that missed; loop around and
+            # lead a new flight to compute.
+            continue
+
+        try:
+            assessment = self._read_disk(fingerprint)
+            if assessment is not None:
+                with self._lock:
+                    self._stats["hits"] += 1
+                    self._stats["disk_hits"] += 1
+                    self._store_memory(fingerprint, assessment)
+                origin = "disk"
+            elif compute is None:
+                with self._lock:
+                    self._stats["misses"] += 1
+                origin = "miss"
+            else:
+                with self._lock:
+                    self._stats["misses"] += 1
+                assessment = compute()
+                with self._lock:
+                    self._store_memory(fingerprint, assessment)
+                self._write_disk(fingerprint, assessment)
+                origin = "computed"
+            flight.value = assessment
+            return assessment, origin
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(fingerprint, None)
+            flight.event.set()
 
     def _store_memory(self, fingerprint: str, assessment: RiskAssessment) -> None:
         self._memory[fingerprint] = assessment
@@ -138,14 +287,48 @@ class AssessmentCache:
     def _path(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
 
+    def _write_disk(self, fingerprint: str, assessment: RiskAssessment) -> bool:
+        if self.directory is None:
+            return False
+        payload = {
+            "type": "cached_assessment",
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "assessment": assessment_to_json(assessment),
+        }
+        try:
+            with self._disk_lock:
+                save_json_atomic(
+                    payload,
+                    self._path(fingerprint),
+                    fault_point=lambda stage: fault_point(f"cache.write.{stage}"),
+                )
+        except OSError:
+            # The memory tier still serves this entry; a flaky disk must
+            # not take the request down.
+            with self._lock:
+                self._stats["write_errors"] += 1
+            return False
+        return True
+
     def _read_disk(self, fingerprint: str) -> RiskAssessment | None:
         if self.directory is None:
             return None
         path = self._path(fingerprint)
-        if not path.exists():
-            return None
         try:
+            fault_point("cache.read")
             payload = load_json(path)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            # Transient I/O failure: a miss, but never grounds to delete
+            # a (possibly fine) persisted decision.
+            with self._lock:
+                self._stats["read_errors"] += 1
+            return None
+        except FormatError:
+            return self._invalidate(path)
+        try:
             if payload.get("type") != "cached_assessment":
                 raise FormatError("not a cached assessment")
             version = payload.get("schema_version")
@@ -154,9 +337,13 @@ class AssessmentCache:
             if payload.get("fingerprint") != fingerprint:
                 raise FormatError("fingerprint mismatch")
             return assessment_from_json(payload["assessment"])
-        except (ReproError, KeyError, TypeError, OSError):
+        except (ReproError, KeyError, TypeError, ValueError):
             # A stale or corrupt artifact: invalidate rather than serve it.
-            with self._lock:
-                self._stats["invalidated"] += 1
+            return self._invalidate(path)
+
+    def _invalidate(self, path: Path) -> None:
+        with self._lock:
+            self._stats["invalidated"] += 1
+        with self._disk_lock:
             path.unlink(missing_ok=True)
-            return None
+        return None

@@ -38,10 +38,11 @@ from repro.core.alpha import alpha_max as compute_alpha_max
 from repro.core.oestimate import o_estimate
 from repro.data.database import FrequencyProfile, FrequencySource
 from repro.data.frequency import FrequencyGroups
-from repro.errors import RecipeError
+from repro.errors import RecipeError, ReproError
 from repro.graph.bipartite import space_from_frequencies
 from repro.recipe.assess import Decision, RiskAssessment
 from repro.service.cache import AssessmentCache
+from repro.service.faults import fault_point
 from repro.service.fingerprint import (
     AssessmentParams,
     derived_seed,
@@ -77,6 +78,7 @@ class BatchResult:
     error: str | None
     cached: bool
     elapsed_seconds: float
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -170,30 +172,32 @@ class AssessmentEngine:
     def assess_request(
         self, source: FrequencySource, params: AssessmentParams
     ) -> AssessmentOutcome:
-        """Answer one pre-packaged request, through the cache."""
+        """Answer one pre-packaged request, through the cache.
+
+        Lookups are single-flight: concurrent requests for the same
+        fingerprint (e.g. simultaneous HTTP hits) run one computation
+        and share its result instead of racing.
+        """
         start = time.perf_counter()
         self.metrics.increment("requests")
         profile = _as_profile(source)
         fingerprint = request_fingerprint(
             profile, params, profile_hash=self._profile_fp(profile)
         )
-        cached = self.cache.get(fingerprint)
-        if cached is not None:
+
+        def compute() -> RiskAssessment:
+            self.metrics.increment("computed")
+            with self.metrics.timer("assess"):
+                return self._compute(profile, params, fingerprint)
+
+        assessment, origin = self.cache.get_or_compute(fingerprint, compute)
+        cached = origin != "computed"
+        if cached:
             self.metrics.increment("cache_hits")
-            return AssessmentOutcome(
-                assessment=cached,
-                fingerprint=fingerprint,
-                cached=True,
-                elapsed_seconds=time.perf_counter() - start,
-            )
-        self.metrics.increment("computed")
-        with self.metrics.timer("assess"):
-            assessment = self._compute(profile, params, fingerprint)
-        self.cache.put(fingerprint, assessment)
         return AssessmentOutcome(
             assessment=assessment,
             fingerprint=fingerprint,
-            cached=False,
+            cached=cached,
             elapsed_seconds=time.perf_counter() - start,
         )
 
@@ -203,6 +207,10 @@ class AssessmentEngine:
         self,
         requests: Sequence[tuple[FrequencySource, AssessmentParams]],
         workers: int = 1,
+        *,
+        retries: int = 2,
+        backoff_seconds: float = 0.05,
+        timeout_seconds: float | None = None,
     ) -> list[BatchResult]:
         """Answer a batch, optionally fanned out across processes.
 
@@ -210,7 +218,20 @@ class AssessmentEngine:
         *workers* value (per-job seeds derive from the fingerprints, not
         from scheduling).  Cache hits are served without touching the
         pool; computed results are inserted into the cache.
+
+        Transient failures (anything but a deterministic
+        :class:`~repro.errors.ReproError`) are retried up to *retries*
+        times with exponential backoff, on the serial path and inside
+        the pool alike.  *timeout_seconds* caps each pool job's
+        wall-clock time (measured from submission; serial jobs cannot be
+        preempted and ignore it).
         """
+        if workers <= 1:
+            return [
+                self._assess_job(index, source, params, retries, backoff_seconds)
+                for index, (source, params) in enumerate(requests)
+            ]
+
         jobs: list[tuple[int, FrequencyProfile, AssessmentParams, str]] = []
         results: dict[int, BatchResult] = {}
         for index, (source, params) in enumerate(requests):
@@ -234,36 +255,16 @@ class AssessmentEngine:
             else:
                 jobs.append((index, profile, params, fingerprint))
 
-        if jobs and workers <= 1:
-            for index, profile, params, fingerprint in jobs:
-                start = time.perf_counter()
-                try:
-                    self.metrics.increment("computed")
-                    with self.metrics.timer("assess"):
-                        assessment = self._compute(profile, params, fingerprint)
-                    self.cache.put(fingerprint, assessment)
-                    results[index] = BatchResult(
-                        index=index,
-                        fingerprint=fingerprint,
-                        assessment=assessment,
-                        error=None,
-                        cached=False,
-                        elapsed_seconds=time.perf_counter() - start,
-                    )
-                except Exception as exc:  # per-job capture, batch survives
-                    self.metrics.increment("errors")
-                    results[index] = BatchResult(
-                        index=index,
-                        fingerprint=fingerprint,
-                        assessment=None,
-                        error=f"{type(exc).__name__}: {exc}",
-                        cached=False,
-                        elapsed_seconds=time.perf_counter() - start,
-                    )
-        elif jobs:
+        if jobs:
             from repro.service.pool import run_batch
 
-            for result in run_batch(jobs, workers=workers):
+            for result in run_batch(
+                jobs,
+                workers=workers,
+                retries=retries,
+                backoff_seconds=backoff_seconds,
+                timeout_seconds=timeout_seconds,
+            ):
                 if result.ok:
                     self.metrics.increment("computed")
                     self.cache.put(result.fingerprint, result.assessment)
@@ -272,6 +273,100 @@ class AssessmentEngine:
                 results[result.index] = result
 
         return [results[index] for index in range(len(requests))]
+
+    def _assess_job(
+        self,
+        index: int,
+        source: FrequencySource,
+        params: AssessmentParams,
+        retries: int,
+        backoff_seconds: float,
+    ) -> BatchResult:
+        """One serial batch slot: single-flight cache + retry, error captured."""
+        start = time.perf_counter()
+        self.metrics.increment("requests")
+        attempts = [0]
+        try:
+            profile = _as_profile(source)
+            fingerprint = request_fingerprint(
+                profile, params, profile_hash=self._profile_fp(profile)
+            )
+        except Exception as exc:
+            self.metrics.increment("errors")
+            return BatchResult(
+                index=index,
+                fingerprint="",
+                assessment=None,
+                error=f"{type(exc).__name__}: {exc}",
+                cached=False,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+
+        def compute() -> RiskAssessment:
+            self.metrics.increment("computed")
+            with self.metrics.timer("assess"):
+                return self._compute_with_retries(
+                    profile, params, fingerprint, retries, backoff_seconds, attempts
+                )
+
+        try:
+            assessment, origin = self.cache.get_or_compute(fingerprint, compute)
+        except Exception as exc:  # per-job capture, batch survives
+            self.metrics.increment("errors")
+            return BatchResult(
+                index=index,
+                fingerprint=fingerprint,
+                assessment=None,
+                error=f"{type(exc).__name__}: {exc}",
+                cached=False,
+                elapsed_seconds=time.perf_counter() - start,
+                attempts=max(1, attempts[0]),
+            )
+        cached = origin != "computed"
+        if cached:
+            self.metrics.increment("cache_hits")
+        return BatchResult(
+            index=index,
+            fingerprint=fingerprint,
+            assessment=assessment,
+            error=None,
+            cached=cached,
+            elapsed_seconds=time.perf_counter() - start,
+            attempts=max(1, attempts[0]),
+        )
+
+    def _compute_with_retries(
+        self,
+        profile: FrequencyProfile,
+        params: AssessmentParams,
+        fingerprint: str,
+        retries: int,
+        backoff_seconds: float,
+        attempts: list | None = None,
+    ) -> RiskAssessment:
+        """Run :meth:`_compute`, retrying transient failures with backoff.
+
+        A :class:`~repro.errors.ReproError` is deterministic (the same
+        inputs will fail the same way) and is never retried; anything
+        else — injected I/O faults, flaky system calls — is retried up
+        to *retries* times.  Determinism of the result is unaffected:
+        the RNG seed derives from the fingerprint, so a retried job
+        produces byte-identical output.
+        """
+        attempt = 0
+        while True:
+            if attempts is not None:
+                attempts[0] = attempt + 1
+            try:
+                return self._compute(profile, params, fingerprint)
+            except ReproError:
+                raise
+            except Exception:
+                if attempt >= retries:
+                    raise
+                self.metrics.increment("retries")
+                time.sleep(backoff_seconds * (2**attempt))
+                attempt += 1
 
     def sweep_tolerance(
         self,
@@ -334,6 +429,7 @@ class AssessmentEngine:
     def _compute(
         self, profile: FrequencyProfile, params: AssessmentParams, fingerprint: str
     ) -> RiskAssessment:
+        fault_point("engine.compute")
         profile_key, frequencies, groups = self._profile_state(profile)
         n = len(frequencies)
         g = len(groups)

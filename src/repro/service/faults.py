@@ -1,0 +1,311 @@
+"""Deterministic fault injection for the service layer.
+
+Crash-safety claims are only as good as the failures they were tested
+against.  This module lets tests (and the ``repro-batch`` CLI, via
+``--faults``) inject failures at named *sites* inside the service layer
+on a deterministic schedule:
+
+* ``error`` — raise a configurable exception (``OSError`` by default),
+  modelling transient I/O failures;
+* ``crash`` — raise :class:`InjectedCrash`, a :class:`BaseException`
+  subclass that sails past ``except Exception`` handlers the way a
+  ``kill -9`` sails past ``finally``-less cleanup, so tests can observe
+  exactly what a died-mid-write process leaves on disk;
+* ``delay`` — sleep for a fixed duration, for timeout and race testing.
+
+Instrumented sites
+------------------
+
+========================  ====================================================
+site                      fired
+========================  ====================================================
+``cache.read``            before a disk-tier read in ``AssessmentCache``
+``cache.write.tmp``       inside the temp file, before the JSON is written
+``cache.write.replace``   after the temp file is durable, before ``os.replace``
+``engine.compute``        at the top of every (serial or worker) computation
+``pool.job``              at the start of every pool-worker job
+========================  ====================================================
+
+A schedule is a list of :class:`FaultRule` objects.  Rules are matched
+in order by :func:`fnmatch.fnmatch` pattern (``"cache.*"`` targets every
+cache site); each rule keeps its own deterministic counters, so "fail
+the first two writes, then succeed" is expressed as
+``FaultRule(site="cache.write.*", action="error", times=2)``.
+
+Usage::
+
+    with injected_faults([FaultRule(site="engine.compute", action="error")]) as injector:
+        ...                      # first compute raises OSError, rest succeed
+    assert injector.events       # what actually fired, in order
+
+Worker processes created by a *fork* start method inherit the installed
+injector (with counter values as of the fork), which is how
+``repro-batch --faults`` exercises the pool's retry path.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.errors import FormatError, RecipeError, ReproError
+
+__all__ = [
+    "InjectedCrash",
+    "FaultRule",
+    "FaultEvent",
+    "FaultInjector",
+    "fault_point",
+    "install",
+    "uninstall",
+    "current",
+    "injected_faults",
+    "load_schedule",
+]
+
+PathLike = Union[str, Path]
+
+ACTIONS = ("error", "crash", "delay")
+
+#: Exception types a rule may raise by name.  Deliberately small: the
+#: service layer's retry logic classifies anything outside ReproError as
+#: transient, and these cover both sides of that line.
+EXCEPTIONS = {
+    "OSError": OSError,
+    "TimeoutError": TimeoutError,
+    "ConnectionError": ConnectionError,
+    "ValueError": ValueError,
+    "FormatError": FormatError,
+    "ReproError": ReproError,
+    "RecipeError": RecipeError,
+}
+
+
+class InjectedCrash(BaseException):
+    """A simulated hard crash (process death) at a fault point.
+
+    Subclasses :class:`BaseException` on purpose: production code that
+    catches ``Exception`` must not be able to "handle" a crash, because
+    a real ``SIGKILL`` would not have given it the chance.  Whatever the
+    crash leaves behind (orphan temp files, missing entries) is exactly
+    what a post-crash process would find.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic entry of a failure schedule.
+
+    Parameters
+    ----------
+    site:
+        :func:`fnmatch.fnmatch` pattern matched against fault-point
+        names (``"cache.write.replace"``, ``"cache.*"``, ``"*"``).
+    action:
+        ``"error"``, ``"crash"`` or ``"delay"``.
+    times:
+        Fire at most this many times (``None`` = every matching call).
+    after:
+        Let this many matching calls pass before the first firing.
+    delay_seconds:
+        Sleep duration for ``action="delay"``.
+    exception:
+        Exception type name (a key of :data:`EXCEPTIONS`) raised by
+        ``action="error"``.
+    message:
+        Message of the raised exception.
+    """
+
+    site: str
+    action: str = "error"
+    times: int | None = 1
+    after: int = 0
+    delay_seconds: float = 0.0
+    exception: str = "OSError"
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ReproError(
+                f"unknown fault action {self.action!r}; expected one of {ACTIONS}"
+            )
+        if self.exception not in EXCEPTIONS:
+            raise ReproError(
+                f"unknown fault exception {self.exception!r}; "
+                f"expected one of {sorted(EXCEPTIONS)}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ReproError(f"fault 'times' must be >= 1 or null, got {self.times}")
+        if self.after < 0:
+            raise ReproError(f"fault 'after' must be >= 0, got {self.after}")
+        if self.delay_seconds < 0:
+            raise ReproError(
+                f"fault 'delay_seconds' must be >= 0, got {self.delay_seconds}"
+            )
+
+    def matches(self, site: str) -> bool:
+        return fnmatch.fnmatch(site, self.site)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultRule":
+        if not isinstance(payload, dict) or "site" not in payload:
+            raise FormatError(f"fault rule needs at least a 'site' key: {payload!r}")
+        unknown = set(payload) - {
+            "site", "action", "times", "after", "delay_seconds", "exception", "message",
+        }
+        if unknown:
+            raise FormatError(f"unknown fault rule key(s): {sorted(unknown)}")
+        return cls(
+            site=str(payload["site"]),
+            action=str(payload.get("action", "error")),
+            times=None if payload.get("times", 1) is None else int(payload.get("times", 1)),
+            after=int(payload.get("after", 0)),
+            delay_seconds=float(payload.get("delay_seconds", 0.0)),
+            exception=str(payload.get("exception", "OSError")),
+            message=str(payload.get("message", "injected fault")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One firing of a rule, recorded for post-hoc assertions."""
+
+    site: str
+    action: str
+    rule_index: int
+
+
+class FaultInjector:
+    """A thread-safe, deterministic fault schedule.
+
+    Every :meth:`fire` walks the rules in order; delays accumulate, the
+    first firing ``error``/``crash`` rule raises.  Counters are per rule
+    (not per site), so two rules with overlapping patterns schedule
+    independently.
+    """
+
+    def __init__(self, rules: list[FaultRule] | None = None):
+        self.rules = list(rules or [])
+        self._lock = threading.Lock()
+        self._seen = [0] * len(self.rules)
+        self._fired = [0] * len(self.rules)
+        self.events: list[FaultEvent] = []
+
+    def fire(self, site: str) -> None:
+        """Apply the schedule at *site*; raises when a rule says so."""
+        raising: FaultRule | None = None
+        delays: list[float] = []
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if not rule.matches(site):
+                    continue
+                seen = self._seen[index]
+                self._seen[index] += 1
+                if seen < rule.after:
+                    continue
+                if rule.times is not None and self._fired[index] >= rule.times:
+                    continue
+                self._fired[index] += 1
+                self.events.append(
+                    FaultEvent(site=site, action=rule.action, rule_index=index)
+                )
+                if rule.action == "delay":
+                    delays.append(rule.delay_seconds)
+                    continue
+                raising = rule
+                break
+        for delay in delays:
+            time.sleep(delay)
+        if raising is not None:
+            if raising.action == "crash":
+                raise InjectedCrash(f"injected crash at {site}")
+            raise EXCEPTIONS[raising.exception](
+                f"{raising.message} (injected at {site})"
+            )
+
+    def fired(self, site_pattern: str = "*") -> int:
+        """How many events matching *site_pattern* have fired so far."""
+        with self._lock:
+            return sum(
+                1 for event in self.events if fnmatch.fnmatch(event.site, site_pattern)
+            )
+
+    def reset(self) -> None:
+        """Rewind every counter and drop the event log."""
+        with self._lock:
+            self._seen = [0] * len(self.rules)
+            self._fired = [0] * len(self.rules)
+            self.events.clear()
+
+
+#: The process-wide active injector (inherited by forked pool workers).
+_ACTIVE: FaultInjector | None = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make *injector* the process-wide active schedule."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        if _ACTIVE is not None:
+            raise ReproError("a fault injector is already installed")
+        _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the active schedule (a no-op when none is installed)."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        _ACTIVE = None
+
+
+def current() -> FaultInjector | None:
+    """The active injector, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected_faults(schedule):
+    """Install a schedule for the duration of a ``with`` block.
+
+    *schedule* is a :class:`FaultInjector`, a list of
+    :class:`FaultRule`, or a ``{"rules": [...]}`` mapping.
+    """
+    if isinstance(schedule, FaultInjector):
+        injector = schedule
+    elif isinstance(schedule, dict):
+        injector = load_schedule(schedule)
+    else:
+        injector = FaultInjector(list(schedule))
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def fault_point(site: str) -> None:
+    """Declare an injectable site; free when no injector is installed."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.fire(site)
+
+
+def load_schedule(source: "PathLike | dict") -> FaultInjector:
+    """Build an injector from ``{"rules": [...]}`` (a mapping or a JSON file)."""
+    if isinstance(source, dict):
+        payload = source
+    else:
+        from repro.io import load_json
+
+        payload = load_json(source)
+    rules = payload.get("rules")
+    if not isinstance(rules, list):
+        raise FormatError("fault schedule must be an object with a 'rules' list")
+    return FaultInjector([FaultRule.from_json(rule) for rule in rules])

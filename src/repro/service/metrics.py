@@ -16,11 +16,12 @@ __all__ = ["ServiceMetrics"]
 
 
 class ServiceMetrics:
-    """Named counters plus named (count, total seconds) timers."""
+    """Named counters and gauges plus named (count, total seconds) timers."""
 
     def __init__(self):
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
         self._timer_counts: dict[str, int] = {}
         self._timer_totals: dict[str, float] = {}
 
@@ -28,6 +29,16 @@ class ServiceMetrics:
         """Add *amount* to the counter *name* (created at 0)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to an instantaneous *value*."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> float:
+        """Current value of a gauge (0 if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0)
 
     def observe(self, name: str, seconds: float) -> None:
         """Record one observation of *seconds* under the timer *name*."""
@@ -60,11 +71,16 @@ class ServiceMetrics:
                 }
                 for name, count in self._timer_counts.items()
             }
-            return {"counters": dict(self._counters), "timers": timers}
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": timers,
+            }
 
     def reset(self) -> None:
-        """Drop every counter and timer."""
+        """Drop every counter, gauge and timer."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._timer_counts.clear()
             self._timer_totals.clear()

@@ -10,13 +10,24 @@ Determinism does not depend on scheduling: every job's RNG seed derives
 from its request fingerprint, so a batch returns byte-identical JSON
 with 1 worker or 4.  Exceptions are captured per job — a bad dataset
 yields an errored :class:`BatchResult`, not a dead batch.
+
+Fault tolerance: a job that fails with anything but a deterministic
+:class:`~repro.errors.ReproError` is retried with exponential backoff
+(``retries`` attempts beyond the first); retried jobs still produce
+byte-identical results because their seeds are content-derived.  A
+per-job wall-clock timeout (measured from submission) turns a hung job
+into an errored result instead of a hung batch — the worker process is
+left to finish in the background and the pool drains it on close.
+Workers inherit any installed fault injector through the *fork* start
+method, which is how crash/latency schedules reach the pool in tests
+and ``repro-batch --faults``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from typing import Sequence
 
 from repro.data.database import FrequencyProfile
@@ -27,6 +38,7 @@ from repro.io import (
     profile_from_json,
     profile_to_json,
 )
+from repro.service.faults import fault_point
 from repro.service.fingerprint import AssessmentParams
 
 __all__ = ["run_batch", "preferred_context"]
@@ -43,10 +55,16 @@ def preferred_context() -> multiprocessing.context.BaseContext:
 
 
 def _worker_assess(payload: tuple) -> tuple:
-    """Run one job inside a worker; never raises."""
+    """Run one job inside a worker; never raises (except injected crashes).
+
+    Returns ``(index, fingerprint, assessment_payload, error, elapsed,
+    retryable)``; *retryable* distinguishes transient failures (worth a
+    resubmission) from deterministic :class:`ReproError` rejections.
+    """
     index, fingerprint, profile_payload, params_payload = payload
     start = time.perf_counter()
     try:
+        fault_point("pool.job")
         global _WORKER_ENGINE
         if _WORKER_ENGINE is None:
             from repro.service.engine import AssessmentEngine
@@ -61,6 +79,17 @@ def _worker_assess(payload: tuple) -> tuple:
             assessment_to_json(outcome.assessment),
             None,
             time.perf_counter() - start,
+            False,
+        )
+    except ReproError as exc:
+        # Deterministic: the same inputs will fail the same way.
+        return (
+            index,
+            fingerprint,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - start,
+            False,
         )
     except Exception as exc:
         return (
@@ -69,35 +98,127 @@ def _worker_assess(payload: tuple) -> tuple:
             None,
             f"{type(exc).__name__}: {exc}",
             time.perf_counter() - start,
+            True,
         )
 
 
 def run_batch(
     jobs: Sequence[tuple[int, FrequencyProfile, AssessmentParams, str]],
     workers: int,
+    *,
+    retries: int = 2,
+    backoff_seconds: float = 0.05,
+    timeout_seconds: float | None = None,
 ) -> list:
     """Execute ``(index, profile, params, fingerprint)`` jobs in a pool.
 
     Returns :class:`~repro.service.engine.BatchResult` objects in job
-    order.  ``workers`` is clamped to the number of jobs.
+    order.  ``workers`` is clamped to the number of jobs.  Transient
+    job failures are resubmitted up to *retries* times (backoff doubles
+    per attempt); a job exceeding *timeout_seconds* from submission is
+    reported as a ``TimeoutError`` result and abandoned (timeouts are
+    not retried — the stuck attempt may still be holding its worker).
     """
     from repro.service.engine import BatchResult
 
     if workers < 1:
         raise ReproError(f"need at least one worker, got {workers}")
-    payloads = [
-        (index, fingerprint, profile_to_json(profile), params.to_json())
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
+    if not jobs:
+        return []
+
+    payloads = {
+        index: (index, fingerprint, profile_to_json(profile), params.to_json())
         for index, profile, params, fingerprint in jobs
-    ]
-    results: list[BatchResult] = []
+    }
+    fingerprints = {index: fingerprint for index, _, _, fingerprint in jobs}
+    job_order = [index for index, _, _, _ in jobs]
+    attempts = {index: 0 for index in payloads}
+    results: dict[int, BatchResult] = {}
+
     with ProcessPoolExecutor(
         max_workers=min(workers, len(payloads)), mp_context=preferred_context()
     ) as executor:
-        for index, fingerprint, assessment_payload, error, elapsed in executor.map(
-            _worker_assess, payloads
-        ):
-            results.append(
-                BatchResult(
+        pending: dict[Future, tuple[int, float | None]] = {}
+
+        def submit(index: int) -> None:
+            attempts[index] += 1
+            deadline = (
+                None
+                if timeout_seconds is None
+                else time.monotonic() + timeout_seconds
+            )
+            pending[executor.submit(_worker_assess, payloads[index])] = (
+                index,
+                deadline,
+            )
+
+        for index in job_order:
+            submit(index)
+
+        while pending:
+            wait_timeout = None
+            if timeout_seconds is not None:
+                now = time.monotonic()
+                nearest = min(
+                    deadline for _, deadline in pending.values()
+                    if deadline is not None
+                )
+                wait_timeout = max(0.0, nearest - now)
+            done, _ = wait(set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+
+            if not done:
+                # Deadline expired for at least one job: fail it, leave
+                # the worker to finish (or not) in the background.
+                now = time.monotonic()
+                for future, (index, deadline) in list(pending.items()):
+                    if deadline is not None and deadline <= now:
+                        del pending[future]
+                        future.cancel()
+                        results[index] = BatchResult(
+                            index=index,
+                            fingerprint=fingerprints[index],
+                            assessment=None,
+                            error=(
+                                f"TimeoutError: job exceeded "
+                                f"{timeout_seconds:g}s (attempt {attempts[index]})"
+                            ),
+                            cached=False,
+                            elapsed_seconds=timeout_seconds,
+                            attempts=attempts[index],
+                        )
+                continue
+
+            for future in done:
+                index, _ = pending.pop(future)
+                try:
+                    (
+                        _,
+                        fingerprint,
+                        assessment_payload,
+                        error,
+                        elapsed,
+                        retryable,
+                    ) = future.result()
+                except BaseException as exc:
+                    # The worker died mid-job (e.g. an injected crash):
+                    # surface it as a failed slot, never a dead batch.
+                    results[index] = BatchResult(
+                        index=index,
+                        fingerprint=fingerprints[index],
+                        assessment=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        cached=False,
+                        elapsed_seconds=0.0,
+                        attempts=attempts[index],
+                    )
+                    continue
+                if error is not None and retryable and attempts[index] <= retries:
+                    time.sleep(backoff_seconds * (2 ** (attempts[index] - 1)))
+                    submit(index)
+                    continue
+                results[index] = BatchResult(
                     index=index,
                     fingerprint=fingerprint,
                     assessment=None
@@ -106,6 +227,7 @@ def run_batch(
                     error=error,
                     cached=False,
                     elapsed_seconds=elapsed,
+                    attempts=attempts[index],
                 )
-            )
-    return results
+
+    return [results[index] for index in job_order]

@@ -17,14 +17,32 @@ Endpoints
 ``GET /metrics``
     Engine metrics snapshot plus cache counters.
 
+Every error response is structured the same way::
+
+    {"error": {"type": "<exception class>", "message": "<detail>"},
+     "status": <http status>}
+
+with ``400`` for malformed requests, ``422`` for requests the recipe
+rejects, ``404`` for unknown paths and ``500`` for unexpected internal
+failures (which are counted in the ``http_500`` metric, never returned
+as a raw traceback).
+
 The server is a :class:`http.server.ThreadingHTTPServer`; the engine's
 cache and metrics are lock-guarded, so concurrent requests are safe.
 Bind port 0 to get an ephemeral port (see ``server.server_port``).
+In-flight requests are tracked (the ``inflight_requests`` gauge), and
+:meth:`AssessmentServer.shutdown_gracefully` waits for them to drain —
+``repro-serve`` wires that to ``SIGTERM``/``SIGINT``, so a supervised
+process finishes the answers it already accepted before exiting.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import repro
@@ -33,7 +51,7 @@ from repro.io import assessment_to_json, profile_from_json
 from repro.service.engine import AssessmentEngine
 from repro.service.fingerprint import AssessmentParams
 
-__all__ = ["AssessmentServer", "make_server", "serve"]
+__all__ = ["AssessmentServer", "make_server", "serve", "run_until_signal"]
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
@@ -46,7 +64,47 @@ class AssessmentServer(ThreadingHTTPServer):
     def __init__(self, address: tuple[str, int], engine: AssessmentEngine, quiet: bool = True):
         self.engine = engine
         self.quiet = quiet
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         super().__init__(address, _AssessmentHandler)
+
+    @contextmanager
+    def tracked_request(self):
+        """Count a request as in-flight for graceful-shutdown draining."""
+        with self._inflight_lock:
+            self._inflight += 1
+            self.engine.metrics.set_gauge("inflight_requests", self._inflight)
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                self.engine.metrics.set_gauge("inflight_requests", self._inflight)
+
+    def inflight_requests(self) -> int:
+        """How many requests are currently being answered."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def shutdown_gracefully(self, grace_seconds: float = 5.0) -> bool:
+        """Stop accepting, drain in-flight requests, close the socket.
+
+        Must be called from a thread other than the one running
+        :meth:`serve_forever`.  Returns ``True`` when every in-flight
+        request finished within *grace_seconds*, ``False`` when the
+        grace period expired with requests still running (their daemon
+        threads are then abandoned).
+        """
+        self.shutdown()
+        deadline = time.monotonic() + grace_seconds
+        drained = True
+        while self.inflight_requests() > 0:
+            if time.monotonic() >= deadline:
+                drained = False
+                break
+            time.sleep(0.02)
+        self.server_close()
+        return drained
 
 
 class _AssessmentHandler(BaseHTTPRequestHandler):
@@ -60,11 +118,21 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (ConnectionError, BrokenPipeError):
+            # The client hung up mid-reply; nothing left to answer.
+            self.server.engine.metrics.increment("client_disconnects")
+
+    def _reply_error(self, status: int, error_type: str, message: str) -> None:
+        self._reply(
+            status,
+            {"error": {"type": error_type, "message": message}, "status": status},
+        )
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -81,53 +149,61 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
     # -- endpoints --------------------------------------------------------
 
     def do_GET(self) -> None:
-        if self.path == "/healthz":
-            self._reply(200, {"status": "ok", "version": repro.__version__})
-        elif self.path == "/metrics":
-            engine = self.server.engine
-            self._reply(
-                200,
-                {"metrics": engine.metrics.snapshot(), "cache": engine.cache.stats()},
-            )
-        else:
-            self._reply(404, {"error": f"unknown path {self.path}"})
+        with self.server.tracked_request():
+            if self.path == "/healthz":
+                self._reply(200, {"status": "ok", "version": repro.__version__})
+            elif self.path == "/metrics":
+                engine = self.server.engine
+                self._reply(
+                    200,
+                    {"metrics": engine.metrics.snapshot(), "cache": engine.cache.stats()},
+                )
+            else:
+                self._reply_error(404, "NotFound", f"unknown path {self.path}")
 
     def do_POST(self) -> None:
-        if self.path != "/assess":
-            self._reply(404, {"error": f"unknown path {self.path}"})
-            return
-        try:
-            payload = self._read_json_body()
-            if "profile" not in payload:
-                raise ValueError("missing required key 'profile'")
-            if "tolerance" not in payload:
-                raise ValueError("missing required key 'tolerance'")
-            profile = profile_from_json(payload["profile"])
-            interest = payload.get("interest")
-            params = AssessmentParams(
-                tolerance=float(payload["tolerance"]),
-                delta=None if payload.get("delta") is None else float(payload["delta"]),
-                runs=int(payload.get("runs", 5)),
-                seed=int(payload.get("seed", 0)),
-                interest=None if interest is None else frozenset(interest),
+        with self.server.tracked_request():
+            if self.path != "/assess":
+                self._reply_error(404, "NotFound", f"unknown path {self.path}")
+                return
+            try:
+                payload = self._read_json_body()
+                if "profile" not in payload:
+                    raise ValueError("missing required key 'profile'")
+                if "tolerance" not in payload:
+                    raise ValueError("missing required key 'tolerance'")
+                profile = profile_from_json(payload["profile"])
+                interest = payload.get("interest")
+                params = AssessmentParams(
+                    tolerance=float(payload["tolerance"]),
+                    delta=None if payload.get("delta") is None else float(payload["delta"]),
+                    runs=int(payload.get("runs", 5)),
+                    seed=int(payload.get("seed", 0)),
+                    interest=None if interest is None else frozenset(interest),
+                )
+            except (ValueError, TypeError, KeyError, json.JSONDecodeError, ReproError) as exc:
+                self._reply_error(400, type(exc).__name__, str(exc))
+                return
+            try:
+                outcome = self.server.engine.assess_request(profile, params)
+            except ReproError as exc:
+                self._reply_error(422, type(exc).__name__, str(exc))
+                return
+            except Exception as exc:
+                # An unexpected failure (I/O fault, bug) must surface as
+                # a structured 500, never as a dropped connection.
+                self.server.engine.metrics.increment("http_500")
+                self._reply_error(500, type(exc).__name__, str(exc))
+                return
+            self._reply(
+                200,
+                {
+                    "fingerprint": outcome.fingerprint,
+                    "cached": outcome.cached,
+                    "elapsed_seconds": outcome.elapsed_seconds,
+                    "assessment": assessment_to_json(outcome.assessment),
+                },
             )
-        except (ValueError, TypeError, KeyError, json.JSONDecodeError, ReproError) as exc:
-            self._reply(400, {"error": str(exc)})
-            return
-        try:
-            outcome = self.server.engine.assess_request(profile, params)
-        except ReproError as exc:
-            self._reply(422, {"error": str(exc)})
-            return
-        self._reply(
-            200,
-            {
-                "fingerprint": outcome.fingerprint,
-                "cached": outcome.cached,
-                "elapsed_seconds": outcome.elapsed_seconds,
-                "assessment": assessment_to_json(outcome.assessment),
-            },
-        )
 
 
 def make_server(
@@ -140,17 +216,55 @@ def make_server(
     return AssessmentServer((host, port), engine or AssessmentEngine(), quiet=quiet)
 
 
+def run_until_signal(
+    server: AssessmentServer, grace_seconds: float = 5.0
+) -> None:
+    """Serve until ``SIGTERM``/``SIGINT``, then shut down gracefully.
+
+    ``serve_forever`` runs in a helper thread while the calling thread
+    waits for a signal (handlers are installed only when called from the
+    main thread; otherwise a ``KeyboardInterrupt`` still triggers the
+    same graceful path).  On shutdown the server stops accepting,
+    drains in-flight requests for up to *grace_seconds*, and closes the
+    listening socket.
+    """
+    stop = threading.Event()
+    previous: dict[int, object] = {}
+
+    def _handle_signal(signum, frame):
+        stop.set()
+
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _handle_signal)
+
+    worker = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    worker.start()
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown_gracefully(grace_seconds)
+        worker.join(timeout=grace_seconds + 1.0)
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     engine: AssessmentEngine | None = None,
     quiet: bool = False,
+    grace_seconds: float = 5.0,
 ) -> None:
-    """Run the API until interrupted (the ``repro-serve`` entry point)."""
+    """Run the API until interrupted (the ``repro-serve`` entry point).
+
+    Exits cleanly on ``SIGTERM`` or ``SIGINT``, draining in-flight
+    requests for up to *grace_seconds* first.
+    """
     server = make_server(host, port, engine, quiet=quiet)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
+    run_until_signal(server, grace_seconds=grace_seconds)

@@ -270,7 +270,16 @@ class TestMetrics:
         assert snap["timers"]["stage"]["count"] == 1
         assert snap["timers"]["stage"]["total_seconds"] >= 0
         metrics.reset()
-        assert metrics.snapshot() == {"counters": {}, "timers": {}}
+        assert metrics.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_gauges(self):
+        metrics = ServiceMetrics()
+        assert metrics.gauge("inflight") == 0
+        metrics.set_gauge("inflight", 3)
+        assert metrics.gauge("inflight") == 3
+        assert metrics.snapshot()["gauges"] == {"inflight": 3}
+        metrics.set_gauge("inflight", 0)
+        assert metrics.gauge("inflight") == 0
 
 
 @pytest.fixture
@@ -321,18 +330,27 @@ class TestServer:
     def test_bad_request_is_400(self, live_server, profile):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(f"{live_server}/assess", {"tolerance": 0.1})
-        assert excinfo.value.code == 400
+        with excinfo.value as error:
+            assert error.code == 400
+            body = json.loads(error.read())
+        assert body["status"] == 400
+        assert body["error"]["type"] == "ValueError"
+        assert "profile" in body["error"]["message"]
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(
                 f"{live_server}/assess",
                 {"profile": profile_to_json(profile), "tolerance": 7.0},
             )
-        assert excinfo.value.code == 400
+        with excinfo.value as error:
+            assert error.code == 400
 
     def test_unknown_path_is_404(self, live_server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(f"{live_server}/nope")
-        assert excinfo.value.code == 404
+        with excinfo.value as error:
+            assert error.code == 404
+            body = json.loads(error.read())
+        assert body["error"]["type"] == "NotFound"
 
 
 class TestBatchCLI:
