@@ -12,6 +12,9 @@ the hacker may use.  This subpackage provides:
   generalization beyond frequent sets);
 * exact machinery: matrix permanents (Ryser), matching enumeration, and
   maximum matching / feasibility checks;
+* the structure-exploiting exact engine (:mod:`repro.graph.exact`):
+  block decomposition plus a consecutive-ones permanent DP, dispatched
+  by :func:`~repro.graph.exact.exact_strategy`;
 * the degree-1 propagation procedure of Figure 7.
 """
 
@@ -21,6 +24,15 @@ from repro.graph.bipartite import (
     MappingSpace,
     space_from_anonymized,
     space_from_frequencies,
+)
+from repro.graph.blocks import Block, BlockDecomposition, decompose
+from repro.graph.exact import (
+    ExactPlan,
+    count_matchings_exact,
+    crack_distribution_exact,
+    crack_marginals_exact,
+    exact_strategy,
+    expected_cracks_exact,
 )
 from repro.graph.groups import BeliefGroupPartition, ObservedGroups
 from repro.graph.marginals import crack_marginals
@@ -59,6 +71,15 @@ __all__ = [
     "crack_distribution",
     "crack_distribution_permanent",
     "enumerate_consistent_matchings",
+    "Block",
+    "BlockDecomposition",
+    "decompose",
+    "ExactPlan",
+    "exact_strategy",
+    "count_matchings_exact",
+    "expected_cracks_exact",
+    "crack_marginals_exact",
+    "crack_distribution_exact",
     "PropagationResult",
     "propagate_degree_one",
 ]

@@ -1,0 +1,199 @@
+"""Block decomposition of a mapping space into independent components.
+
+Perfect matchings factorize over the connected components of the
+bipartite graph ``G = (J + I, E)``: a consistent crack mapping restricted
+to a component is a perfect matching of that component, and every
+combination of per-component matchings is a consistent mapping.  So the
+permanent is a *product* over components, per-item crack marginals are
+local to their component, and the law of the crack count is the
+*convolution* of the per-component laws.
+
+For :class:`~repro.graph.bipartite.FrequencyMappingSpace` the components
+have extra structure: every item's candidate set is a contiguous run of
+frequency groups (interval beliefs), so components are maximal *segments*
+of the sorted frequency groups, split at every boundary no belief
+interval spans.  That makes decomposition ``O(n + k)`` — no union-find
+pass over edges, which may number ``Theta(n^2)``.
+
+Explicit spaces fall back to a union-find over the actual edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
+
+__all__ = ["Block", "BlockDecomposition", "decompose"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One connected component of the bipartite mapping graph.
+
+    Attributes
+    ----------
+    item_indices:
+        Original-item indices (global, ascending).
+    anon_indices:
+        Anonymized-item indices (global, ascending).
+    group_range:
+        For frequency spaces, the global frequency-group segment
+        ``[a, b)`` the block covers; ``None`` for explicit spaces.
+    """
+
+    item_indices: tuple[int, ...]
+    anon_indices: tuple[int, ...]
+    group_range: tuple[int, int] | None = None
+
+    @property
+    def n(self) -> int:
+        return len(self.item_indices)
+
+    @property
+    def balanced(self) -> bool:
+        return len(self.item_indices) == len(self.anon_indices)
+
+
+@dataclass(frozen=True)
+class BlockDecomposition:
+    """All components of a space, plus whether a perfect matching can exist.
+
+    ``matchable`` is a cheap *necessary* condition (every component is
+    balanced and every item has at least one candidate); when it is
+    ``False`` the permanent is exactly 0 and every exact quantity is
+    trivial.  When ``True``, a matching may still fail to exist (Hall's
+    condition inside a block) — the per-block engines detect that.
+    """
+
+    blocks: tuple[Block, ...]
+    matchable: bool
+    reason: str | None = None
+
+    @property
+    def largest_block(self) -> int:
+        return max((block.n for block in self.blocks), default=0)
+
+    @property
+    def block_sizes(self) -> tuple[int, ...]:
+        return tuple(block.n for block in self.blocks)
+
+
+def _decompose_frequency(space: FrequencyMappingSpace) -> BlockDecomposition:
+    k = len(space.groups)
+    runs = [space.admissible_run(i) for i in range(space.n)]
+    for i, (g_lo, g_hi) in enumerate(runs):
+        if g_hi <= g_lo:
+            return BlockDecomposition(
+                blocks=(),
+                matchable=False,
+                reason=f"item #{i} admits no frequency group (outdegree 0)",
+            )
+    # A boundary b (between groups b and b+1) is *spanned* when some
+    # belief interval admits both sides; unspanned boundaries cut the
+    # graph into independent segments.
+    spanned = np.zeros(max(k - 1, 0), dtype=bool)
+    for g_lo, g_hi in runs:
+        if g_hi - g_lo >= 2:
+            spanned[g_lo : g_hi - 1] = True
+    cuts = [0] + [b + 1 for b in range(k - 1) if not spanned[b]] + [k]
+
+    members = space.groups.members
+    prefix = space.groups.prefix
+    items_by_start: list[list[int]] = [[] for _ in range(k)]
+    for i, (g_lo, _) in enumerate(runs):
+        items_by_start[g_lo].append(i)
+
+    blocks: list[Block] = []
+    for a, b in zip(cuts, cuts[1:]):
+        item_indices: list[int] = []
+        for g in range(a, b):
+            item_indices.extend(items_by_start[g])
+        anon_indices: list[int] = []
+        for g in range(a, b):
+            anon_indices.extend(members[g])
+        block = Block(
+            item_indices=tuple(sorted(item_indices)),
+            anon_indices=tuple(sorted(anon_indices)),
+            group_range=(a, b),
+        )
+        if len(block.item_indices) != int(prefix[b] - prefix[a]):
+            return BlockDecomposition(
+                blocks=(),
+                matchable=False,
+                reason=(
+                    f"groups [{a}, {b}) hold {int(prefix[b] - prefix[a])} anonymized "
+                    f"items but {len(block.item_indices)} originals can map there"
+                ),
+            )
+        blocks.append(block)
+    return BlockDecomposition(blocks=tuple(blocks), matchable=True)
+
+
+class _UnionFind:
+    __slots__ = ("parent",)
+
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self.parent[ry] = rx
+
+
+def _decompose_generic(space: MappingSpace) -> BlockDecomposition:
+    n = space.n
+    # Nodes 0..n-1 are items, n..2n-1 are anonymized items.
+    uf = _UnionFind(2 * n)
+    for i in range(n):
+        degree = 0
+        for j in space.candidates(i):
+            uf.union(i, n + j)
+            degree += 1
+        if degree == 0:
+            return BlockDecomposition(
+                blocks=(),
+                matchable=False,
+                reason=f"item #{i} has no candidates (outdegree 0)",
+            )
+    components: dict[int, tuple[list[int], list[int]]] = {}
+    for i in range(n):
+        items, _ = components.setdefault(uf.find(i), ([], []))
+        items.append(i)
+    for j in range(n):
+        _, anons = components.setdefault(uf.find(n + j), ([], []))
+        anons.append(j)
+    blocks = tuple(
+        Block(item_indices=tuple(items), anon_indices=tuple(anons))
+        for _, (items, anons) in sorted(components.items())
+    )
+    for block in blocks:
+        if not block.balanced:
+            return BlockDecomposition(
+                blocks=blocks,
+                matchable=False,
+                reason=(
+                    f"a component has {len(block.item_indices)} items but "
+                    f"{len(block.anon_indices)} anonymized items"
+                ),
+            )
+    return BlockDecomposition(blocks=blocks, matchable=True)
+
+
+def decompose(space: MappingSpace) -> BlockDecomposition:
+    """Split a mapping space into the connected components of its graph."""
+    if isinstance(space, FrequencyMappingSpace):
+        return _decompose_frequency(space)
+    return _decompose_generic(space)

@@ -1,0 +1,458 @@
+"""Structure-exploiting exact crack engine: the strategy dispatcher.
+
+The paper's direct method (Section 4.1) computes expected cracks via
+permanents and is capped at tiny domains by #P-hardness.  This module
+lifts the cap wherever the graph has structure:
+
+1. **Block decomposition** (:mod:`repro.graph.blocks`): permanents
+   multiply, marginals localize and crack laws convolve over connected
+   components — for *any* belief class.
+2. **Consecutive-ones DP** (:mod:`repro.graph.intervaldp`): inside a
+   frequency-space block, interval beliefs admit a polynomial
+   group-sweep DP instead of Ryser's ``O(2^n n)``.
+3. **Ryser** stays the engine for small explicit blocks (arbitrary
+   adjacency, Section 8.1 graphs).
+
+:func:`exact_strategy` inspects a space and reports which engine would
+run, per block, plus a cost hint so callers (the assessment service, the
+``auto`` marginal method) can decide whether exact is worth it; the
+``*_exact`` functions execute the plan.  Counting uses exact Python
+integers, so wherever Ryser is also feasible the two agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import GraphError, InfeasibleMatchingError
+from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
+from repro.graph.blocks import Block, BlockDecomposition, decompose
+from repro.graph.intervaldp import (
+    DEFAULT_BUDGET,
+    DPBudget,
+    assignment_count,
+    class_placement_totals,
+    crack_law,
+)
+
+__all__ = [
+    "ExactPlan",
+    "exact_strategy",
+    "count_matchings_exact",
+    "expected_cracks_exact",
+    "crack_marginals_exact",
+    "crack_distribution_exact",
+]
+
+#: Ryser blocks beyond this size are infeasible (matches the historical
+#: ``permanent`` guard).
+RYSER_BLOCK_LIMIT = 22
+
+#: Per-block enumeration cap for explicit-space crack laws.
+ENUMERATION_BLOCK_LIMIT = 12
+
+STRATEGY_RYSER = "ryser"
+STRATEGY_BLOCK_RYSER = "block-ryser"
+STRATEGY_INTERVAL_DP = "interval-dp"
+STRATEGY_BLOCK_INTERVAL_DP = "block-interval-dp"
+STRATEGY_INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class ExactPlan:
+    """What the exact engine would do with a space.
+
+    Attributes
+    ----------
+    strategy:
+        Overall label: ``"ryser"`` (one small explicit block),
+        ``"block-ryser"`` (several small explicit blocks),
+        ``"interval-dp"`` / ``"block-interval-dp"`` (frequency-space
+        DP over one / many blocks), or ``"infeasible"``.
+    feasible:
+        Whether every block has an exact engine.
+    matchable:
+        Cheap necessary condition for a perfect matching; when ``False``
+        the permanent is 0 and exact answers are trivial.
+    n, n_blocks, largest_block, block_sizes, block_strategies:
+        Shape of the decomposition.
+    cost_hint:
+        Rough operation count for an exact expected-cracks computation —
+        compare against a budget before running on a serving path.
+    reason:
+        Why the plan is infeasible / unmatchable, when it is.
+    """
+
+    strategy: str
+    feasible: bool
+    matchable: bool
+    n: int
+    n_blocks: int
+    largest_block: int
+    block_sizes: tuple[int, ...]
+    block_strategies: tuple[str, ...]
+    cost_hint: float
+    reason: str | None = None
+
+
+def _frequency_block_problem(space: FrequencyMappingSpace, block: Block):
+    """Capacities, interchangeability classes and run width of one block."""
+    a, b = block.group_range
+    capacities = tuple(int(c) for c in space.groups.counts[a:b])
+    classes: dict[tuple[int, int], int] = {}
+    for i in block.item_indices:
+        g_lo, g_hi = space.admissible_run(i)
+        run = (g_lo - a, g_hi - a)
+        classes[run] = classes.get(run, 0) + 1
+    width = max((hi - lo for lo, hi in classes), default=1)
+    return capacities, classes, width
+
+
+def _dp_cost_hint(capacities, classes, width: int) -> float:
+    """Crude transition-count estimate for one block's DP sweep.
+
+    The state space is the set of feasible pending-by-deadline profiles;
+    with window width ``w`` and at most ``p`` pending items that is at
+    most ``C(p + w - 2, w - 2)`` per group.  The hint deliberately
+    over-counts — it gates serving-path usage, where a false "too
+    expensive" only costs accuracy, never latency.
+    """
+    if width <= 1:
+        return float(len(capacities))
+    max_pending = 0
+    if width >= 2:
+        window = width - 1
+        sums = [sum(capacities[g : g + window]) for g in range(len(capacities))]
+        max_pending = max(sums, default=0)
+    states = math.comb(max_pending + max(width - 2, 0), max(width - 2, 0))
+    transitions = math.comb(max_pending + width - 1, width - 1)
+    return float(len(capacities)) * float(min(states, 10**9)) * float(
+        min(transitions, 10**9)
+    )
+
+
+def exact_strategy(space: MappingSpace, limit: int | None = None) -> ExactPlan:
+    """Inspect a space and pick the exact engine for each block."""
+    limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
+    decomposition = decompose(space)
+    if not decomposition.matchable:
+        return ExactPlan(
+            strategy=STRATEGY_INFEASIBLE if not decomposition.blocks else _overall_name(
+                space, decomposition
+            ),
+            feasible=True,
+            matchable=False,
+            n=space.n,
+            n_blocks=len(decomposition.blocks),
+            largest_block=decomposition.largest_block,
+            block_sizes=decomposition.block_sizes,
+            block_strategies=(),
+            cost_hint=0.0,
+            reason=decomposition.reason,
+        )
+
+    is_frequency = isinstance(space, FrequencyMappingSpace)
+    block_strategies: list[str] = []
+    cost = 0.0
+    feasible = True
+    reason = None
+    for block in decomposition.blocks:
+        if is_frequency:
+            capacities, classes, width = _frequency_block_problem(space, block)
+            hint = _dp_cost_hint(capacities, classes, width)
+            if hint <= float(block.n) * 2.0**block.n or block.n > limit:
+                block_strategies.append(STRATEGY_INTERVAL_DP)
+                cost += hint * max(len(classes), 1)
+            else:
+                block_strategies.append(STRATEGY_RYSER)
+                cost += float(block.n) ** 2 * 2.0**block.n
+        elif block.n <= limit:
+            block_strategies.append(STRATEGY_RYSER)
+            cost += float(block.n) ** 2 * 2.0**block.n
+        else:
+            block_strategies.append(STRATEGY_INFEASIBLE)
+            feasible = False
+            reason = (
+                f"a {block.n}-item block has no structure the exact engine "
+                f"can exploit (Ryser limit {limit})"
+            )
+    strategy = (
+        STRATEGY_INFEASIBLE
+        if not feasible
+        else _overall_name(space, decomposition)
+    )
+    return ExactPlan(
+        strategy=strategy,
+        feasible=feasible,
+        matchable=True,
+        n=space.n,
+        n_blocks=len(decomposition.blocks),
+        largest_block=decomposition.largest_block,
+        block_sizes=decomposition.block_sizes,
+        block_strategies=tuple(block_strategies),
+        cost_hint=cost,
+        reason=reason,
+    )
+
+
+def _overall_name(space: MappingSpace, decomposition: BlockDecomposition) -> str:
+    many = len(decomposition.blocks) > 1
+    if isinstance(space, FrequencyMappingSpace):
+        return STRATEGY_BLOCK_INTERVAL_DP if many else STRATEGY_INTERVAL_DP
+    return STRATEGY_BLOCK_RYSER if many else STRATEGY_RYSER
+
+
+# -- per-block engines -------------------------------------------------------
+
+
+def _block_adjacency(space: MappingSpace, block: Block) -> np.ndarray:
+    anon_local = {j: r for r, j in enumerate(block.anon_indices)}
+    matrix = np.zeros((len(block.anon_indices), len(block.item_indices)))
+    for c, i in enumerate(block.item_indices):
+        for j in space.candidates(i):
+            matrix[anon_local[j], c] = 1.0
+    return matrix
+
+
+def _ryser_count(space: MappingSpace, block: Block, limit: int) -> int:
+    from repro.graph.permanent import permanent
+
+    value = permanent(_block_adjacency(space, block), limit=limit)
+    return int(round(value))
+
+
+def _frequency_block_count(
+    space: FrequencyMappingSpace, block: Block, budget: DPBudget
+) -> tuple[int, int]:
+    """(assignment count, matching count) of one frequency block."""
+    capacities, classes, _ = _frequency_block_problem(space, block)
+    assignments = assignment_count(capacities, classes, budget=budget)
+    matchings = assignments
+    for c in capacities:
+        matchings *= math.factorial(c)
+    return assignments, matchings
+
+
+def count_matchings_exact(
+    space: MappingSpace,
+    limit: int | None = None,
+    budget: DPBudget = DEFAULT_BUDGET,
+) -> int:
+    """The number of consistent crack mappings, as an exact integer.
+
+    Equals the permanent of the adjacency matrix, computed as a product
+    over blocks — interval DP on frequency blocks, Ryser on small
+    explicit ones.  Raises :class:`~repro.errors.GraphError` when some
+    block is beyond every engine.
+    """
+    limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
+    decomposition = decompose(space)
+    if not decomposition.matchable:
+        return 0
+    total = 1
+    for block in decomposition.blocks:
+        if isinstance(space, FrequencyMappingSpace):
+            _, matchings = _frequency_block_count(space, block, budget)
+        else:
+            _require_ryser_block(block, limit)
+            matchings = _ryser_count(space, block, limit)
+        if matchings == 0:
+            return 0
+        total *= matchings
+    return total
+
+
+def _require_ryser_block(block: Block, limit: int) -> None:
+    if block.n > limit:
+        raise GraphError(
+            f"a {block.n}-item explicit block exceeds the Ryser limit "
+            f"({limit}); no exact strategy applies — use the O-estimate "
+            "or the simulator"
+        )
+
+
+def _frequency_block_marginals(
+    space: FrequencyMappingSpace,
+    block: Block,
+    marginals: np.ndarray,
+    budget: DPBudget,
+) -> None:
+    a, b = block.group_range
+    capacities, classes, _ = _frequency_block_problem(space, block)
+    total, placement = class_placement_totals(capacities, classes, budget=budget)
+    if total == 0:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+    group_of = space.groups.group_of
+    # Items sharing (run class, true group) share a marginal:
+    # P(item -> g) = S[(run, g)] / (total * class size), and landing in
+    # the true group cracks with probability 1 / capacity.
+    for i in block.item_indices:
+        g_lo, g_hi = space.admissible_run(i)
+        true_group = int(group_of[space.true_partner(i)])
+        if not g_lo <= true_group < g_hi:
+            continue  # non-compliant: never cracked
+        run = (g_lo - a, g_hi - a)
+        local_group = true_group - a
+        placed = placement.get((run, local_group), 0)
+        marginals[i] = float(
+            Fraction(
+                placed, total * classes[run] * capacities[local_group]
+            )
+        )
+
+
+def _explicit_block_marginals(
+    space: MappingSpace,
+    block: Block,
+    marginals: np.ndarray,
+    limit: int,
+) -> None:
+    from repro.graph.permanent import permanent
+
+    _require_ryser_block(block, limit)
+    matrix = _block_adjacency(space, block)
+    total = permanent(matrix, limit=limit)
+    if total == 0:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+    anon_local = {j: r for r, j in enumerate(block.anon_indices)}
+    for c, i in enumerate(block.item_indices):
+        j = space.true_partner(i)
+        row = anon_local.get(j)
+        if row is None or matrix[row, c] == 0.0:
+            continue
+        minor = np.delete(np.delete(matrix, row, axis=0), c, axis=1)
+        marginals[i] = permanent(minor, limit=limit) / total
+
+
+def crack_marginals_exact(
+    space: MappingSpace,
+    limit: int | None = None,
+    budget: DPBudget = DEFAULT_BUDGET,
+) -> np.ndarray:
+    """Exact per-item crack probabilities, block by block.
+
+    Raises :class:`~repro.errors.InfeasibleMatchingError` when no
+    consistent matching exists and :class:`~repro.errors.GraphError`
+    when some block defeats every exact engine.
+    """
+    limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
+    decomposition = decompose(space)
+    if not decomposition.matchable:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+    marginals = np.zeros(space.n, dtype=np.float64)
+    for block in decomposition.blocks:
+        if isinstance(space, FrequencyMappingSpace):
+            _frequency_block_marginals(space, block, marginals, budget)
+        else:
+            _explicit_block_marginals(space, block, marginals, limit)
+    return marginals
+
+
+def expected_cracks_exact(
+    space: MappingSpace,
+    limit: int | None = None,
+    budget: DPBudget = DEFAULT_BUDGET,
+) -> float:
+    """Exact ``E[X]`` by the direct method, structure-exploiting.
+
+    Extends :func:`repro.graph.permanent.expected_cracks_direct` beyond
+    the Ryser cap: linearity makes ``E[X]`` the sum of per-block
+    marginal sums, each computed by the block's engine.
+    """
+    return float(crack_marginals_exact(space, limit=limit, budget=budget).sum())
+
+
+def _enumerate_block_law(space: MappingSpace, block: Block) -> np.ndarray:
+    """Crack law of a small explicit block, by backtracking enumeration."""
+    anon_local = {j: r for r, j in enumerate(block.anon_indices)}
+    n_local = block.n
+    candidates = []
+    for i in block.item_indices:
+        candidates.append(
+            tuple(anon_local[j] for j in space.candidates(i) if j in anon_local)
+        )
+    truth = []
+    for i in block.item_indices:
+        truth.append(anon_local.get(space.true_partner(i), -1))
+    order = sorted(range(n_local), key=lambda c: len(candidates[c]))
+
+    counts = np.zeros(n_local + 1, dtype=np.float64)
+    used = [False] * n_local
+    assignment = [-1] * n_local
+
+    def extend(depth: int, cracks: int) -> None:
+        if depth == n_local:
+            counts[cracks] += 1
+            return
+        c = order[depth]
+        for r in candidates[c]:
+            if not used[r]:
+                used[r] = True
+                extend(depth + 1, cracks + (1 if truth[c] == r else 0))
+                used[r] = False
+
+    extend(0, 0)
+    total = counts.sum()
+    if total == 0:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+    return counts / total
+
+
+def _frequency_block_law(
+    space: FrequencyMappingSpace, block: Block, budget: DPBudget
+) -> np.ndarray:
+    a, b = block.group_range
+    capacities = tuple(int(c) for c in space.groups.counts[a:b])
+    group_of = space.groups.group_of
+    refined: dict[tuple[int, int, int | None], int] = {}
+    for i in block.item_indices:
+        g_lo, g_hi = space.admissible_run(i)
+        true_group = int(group_of[space.true_partner(i)])
+        local_true = true_group - a if g_lo <= true_group < g_hi else None
+        key = (g_lo - a, g_hi - a, local_true)
+        refined[key] = refined.get(key, 0) + 1
+    return crack_law(capacities, refined, budget=budget)
+
+
+def crack_distribution_exact(
+    space: MappingSpace,
+    limit: int | None = None,
+    budget: DPBudget = DEFAULT_BUDGET,
+) -> np.ndarray:
+    """Exact law ``P(X = k)`` of the crack count, block-convolved.
+
+    Frequency blocks use the interval DP with rencontres within-group
+    laws; explicit blocks are enumerated (per-block limit
+    ``ENUMERATION_BLOCK_LIMIT`` instead of the historical whole-space
+    one).  The block laws are convolved — matchings are independent and
+    uniform across components.
+    """
+    decomposition = decompose(space)
+    if not decomposition.matchable:
+        raise InfeasibleMatchingError("no consistent perfect matching exists")
+    law = np.array([1.0])
+    for block in decomposition.blocks:
+        if isinstance(space, FrequencyMappingSpace):
+            try:
+                block_law = _frequency_block_law(space, block, budget)
+            except GraphError:
+                if block.n <= (ENUMERATION_BLOCK_LIMIT if limit is None else limit):
+                    block_law = _enumerate_block_law(space, block)
+                else:
+                    raise
+        else:
+            if block.n > (ENUMERATION_BLOCK_LIMIT if limit is None else limit):
+                raise GraphError(
+                    f"enumerating a {block.n}-item explicit block is infeasible "
+                    f"(limit {ENUMERATION_BLOCK_LIMIT}); only frequency blocks "
+                    "support the interval-DP crack law"
+                )
+            block_law = _enumerate_block_law(space, block)
+        law = np.convolve(law, block_law)
+    result = np.zeros(space.n + 1, dtype=np.float64)
+    result[: len(law)] = law
+    return result

@@ -8,7 +8,9 @@ consume.  Three methods, dispatched by structure:
 * **chain** — closed form: the boundary flows of a chain are forced, so
   a shared item maps to its true group with probability ``c_i/s_i`` or
   ``d_i/s_i`` and within the group uniformly (exact, ``O(n)``);
-* **exact** — permanent ratios, one minor per item (tiny domains);
+* **exact** — the structure-exploiting engine of
+  :mod:`repro.graph.exact`: block decomposition plus interval DP on
+  frequency blocks, Ryser minors on small explicit blocks;
 * **mcmc** — indicator averages from the Gibbs sampler (general
   frequency spaces) or the swap sampler (explicit spaces).
 """
@@ -17,11 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import GraphError, NotAChainError
+from repro.errors import GraphError, InfeasibleMatchingError, NotAChainError
 from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
-from repro.graph.permanent import permanent
 
 __all__ = ["crack_marginals"]
+
+#: ``auto`` runs the exact engine whenever its cost hint is below this —
+#: calibrated so every space the historical ``n <= 11`` rule accepted
+#: still runs exact, plus any larger space whose blocks are cheap.
+_AUTO_EXACT_BUDGET = 5e6
 
 
 def _chain_marginals(space: FrequencyMappingSpace) -> np.ndarray:
@@ -48,18 +54,12 @@ def _chain_marginals(space: FrequencyMappingSpace) -> np.ndarray:
 
 
 def _exact_marginals(space: MappingSpace) -> np.ndarray:
-    matrix = space.adjacency_matrix()
-    total = permanent(matrix)
-    if total == 0:
-        raise GraphError("no consistent perfect matching exists")
-    marginals = np.zeros(space.n, dtype=np.float64)
-    for i in range(space.n):
-        j = space.true_partner(i)
-        if matrix[j, i] == 0.0:
-            continue
-        minor = np.delete(np.delete(matrix, j, axis=0), i, axis=1)
-        marginals[i] = permanent(minor) / total
-    return marginals
+    from repro.graph.exact import crack_marginals_exact
+
+    try:
+        return crack_marginals_exact(space)
+    except InfeasibleMatchingError as error:
+        raise GraphError("no consistent perfect matching exists") from error
 
 
 def _mcmc_marginals(
@@ -131,6 +131,17 @@ def crack_marginals(
                     raise
         elif method == "chain":
             raise NotAChainError("chain marginals need a frequency mapping space")
-    if method == "exact" or (method == "auto" and space.n <= 11):
+    if method == "exact":
         return _exact_marginals(space)
+    if method == "auto":
+        from repro.graph.exact import exact_strategy
+
+        plan = exact_strategy(space)
+        if not plan.matchable:
+            raise GraphError("no consistent perfect matching exists")
+        if plan.feasible and plan.cost_hint <= _AUTO_EXACT_BUDGET:
+            try:
+                return _exact_marginals(space)
+            except GraphError:
+                pass  # DP budget blown mid-run: fall through to MCMC
     return _mcmc_marginals(space, n_samples, rng)

@@ -9,15 +9,18 @@ the library uses it: as ground truth to validate the O-estimate and the
 simulator in tests and ablations.
 
 * :func:`permanent` — Ryser's inclusion–exclusion formula with Gray-code
-  updates, ``O(2^n n)``.
+  updates, ``O(2^n n)``; matrices beyond the Ryser cap are first split
+  into connected blocks (permanents multiply over blocks).
 * :func:`expected_cracks_direct` — exact ``E[X]`` as a sum of permanent
-  ratios (one minor per item).
-* :func:`crack_distribution` — the full law ``P(X = k)`` by enumerating
-  every consistent perfect matching (tiny domains only).
+  ratios, dispatched through :mod:`repro.graph.exact` so interval-belief
+  spaces with thousands of items stay exact.
+* :func:`crack_distribution` — the full law ``P(X = k)``, block-convolved
+  (interval DP on frequency blocks, enumeration on small explicit ones).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Iterator
 
 import numpy as np
@@ -38,24 +41,78 @@ _PERMANENT_LIMIT = 22
 _ENUMERATION_LIMIT = 12
 
 
-def permanent(matrix: np.ndarray) -> float:
-    """The permanent of a square matrix, by Ryser's formula.
+def _matrix_blocks(matrix: np.ndarray) -> list[tuple[list[int], list[int]]]:
+    """Connected components of a matrix's nonzero structure.
+
+    Returns ``(rows, cols)`` per component.  A component with unequal row
+    and column counts forces the permanent to 0.
+    """
+    n = matrix.shape[0]
+    parent = list(range(2 * n))  # rows 0..n-1, columns n..2n-1
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    rows, cols = np.nonzero(matrix)
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        rr, rc = find(r), find(n + c)
+        if rr != rc:
+            parent[rc] = rr
+    components: dict[int, tuple[list[int], list[int]]] = {}
+    for r in range(n):
+        components.setdefault(find(r), ([], []))[0].append(r)
+    for c in range(n):
+        components.setdefault(find(n + c), ([], []))[1].append(c)
+    return [components[key] for key in sorted(components)]
+
+
+def permanent(matrix: np.ndarray, limit: int | None = None) -> float:
+    """The permanent of a square matrix, by Ryser's formula over blocks.
 
     Uses Gray-code subset iteration so each of the ``2^n - 1`` subsets
-    costs ``O(n)``.  Guarded at ``n <= 22`` — beyond that the direct
-    method is infeasible, which is the paper's point.
+    costs ``O(n)``.  Matrices larger than ``limit`` (default 22) are
+    split into connected blocks first — the permanent is the product of
+    block permanents — and only a *block* beyond the limit is
+    infeasible.  Pass ``limit`` to accept a higher cost explicitly.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise GraphError(f"permanent needs a square matrix, got shape {matrix.shape}")
     n = matrix.shape[0]
+    cap = _PERMANENT_LIMIT if limit is None else int(limit)
     if n == 0:
         return 1.0
-    if n > _PERMANENT_LIMIT:
-        raise GraphError(
-            f"permanent of a {n}x{n} matrix is infeasible (limit {_PERMANENT_LIMIT}); "
-            "use the O-estimate or the simulator instead"
-        )
+    if n > cap:
+        blocks = _matrix_blocks(matrix)
+        if any(len(rows) != len(cols) for rows, cols in blocks):
+            return 0.0  # some rows can only use fewer columns: no permutation survives
+        largest = max(len(rows) for rows, _ in blocks)
+        if largest > cap:
+            raise GraphError(
+                f"permanent of a {n}x{n} matrix is infeasible: its largest "
+                f"connected block has {largest} rows (Ryser limit {cap}). "
+                "Pass limit= to accept the cost, or use exact_strategy / "
+                "count_matchings_exact (block-ryser, interval-dp) — or the "
+                "O-estimate or the simulator"
+            )
+        result = 1.0
+        for rows, cols in blocks:
+            result *= _ryser(matrix[np.ix_(rows, cols)])
+            if result == 0.0:
+                return 0.0
+        return result
+    return _ryser(matrix)
+
+
+def _ryser(matrix: np.ndarray) -> float:
+    n = matrix.shape[0]
+    if n == 0:
+        return 1.0
     # Ryser: perm(A) = (-1)^n * sum over non-empty column subsets S of
     # (-1)^|S| * prod_i sum_{j in S} a[i, j].  Gray-code iteration keeps a
     # running row-sum vector so each subset costs O(n).
@@ -80,8 +137,20 @@ def permanent(matrix: np.ndarray) -> float:
 
 
 def count_matchings(space: MappingSpace) -> float:
-    """Number of consistent crack mappings = permanent of the adjacency."""
-    return permanent(space.adjacency_matrix())
+    """Number of consistent crack mappings = permanent of the adjacency.
+
+    Dispatches through the structure-exploiting engine
+    (:func:`repro.graph.exact.count_matchings_exact`), so block-sparse
+    and interval-belief spaces far beyond the Ryser cap still count
+    exactly.  Counts too large for a float come back as ``math.inf``.
+    """
+    from repro.graph.exact import count_matchings_exact
+
+    count = count_matchings_exact(space)
+    try:
+        return float(count)
+    except OverflowError:
+        return math.inf
 
 
 def expected_cracks_direct(space: MappingSpace) -> float:
@@ -91,19 +160,15 @@ def expected_cracks_direct(space: MappingSpace) -> float:
     containing the true edge ``(x', x)``, i.e. the permanent of the minor
     with row ``x'`` and column ``x`` removed over the full permanent; the
     expectation is the sum of these probabilities (linearity, Section 5.1).
+
+    Dispatches through :func:`repro.graph.exact.expected_cracks_exact`:
+    Ryser minors on small explicit blocks, the consecutive-ones DP on
+    frequency blocks — so the historical n=22 cap only binds when a
+    single unstructured block is that large.
     """
-    matrix = space.adjacency_matrix()
-    total = permanent(matrix)
-    if total == 0:
-        raise InfeasibleMatchingError("no consistent perfect matching exists")
-    expected = 0.0
-    for i in range(space.n):
-        j = space.true_partner(i)
-        if matrix[j, i] == 0.0:
-            continue  # non-compliant item: never cracked by a consistent mapping
-        minor = np.delete(np.delete(matrix, j, axis=0), i, axis=1)
-        expected += permanent(minor) / total
-    return expected
+    from repro.graph.exact import expected_cracks_exact
+
+    return expected_cracks_exact(space)
 
 
 def crack_distribution_permanent(space: MappingSpace) -> np.ndarray:
@@ -185,16 +250,13 @@ def enumerate_consistent_matchings(space: MappingSpace) -> Iterator[tuple[int, .
 def crack_distribution(space: MappingSpace) -> np.ndarray:
     """The exact law of the number of cracks ``X``.
 
-    Returns an array ``p`` with ``p[k] = P(X = k)`` for ``k = 0..n``,
-    computed by exhaustive enumeration of consistent matchings under the
-    paper's uniform-matching assumption.
+    Returns an array ``p`` with ``p[k] = P(X = k)`` for ``k = 0..n``
+    under the paper's uniform-matching assumption.  Dispatches through
+    :func:`repro.graph.exact.crack_distribution_exact`: per-block laws
+    (interval DP on frequency blocks, enumeration on explicit blocks up
+    to 12 items each) convolved across blocks — the historical
+    whole-space enumeration cap of 12 now applies per block.
     """
-    n = space.n
-    counts = np.zeros(n + 1, dtype=np.float64)
-    total = 0
-    for assignment in enumerate_consistent_matchings(space):
-        counts[space.count_cracks(assignment)] += 1
-        total += 1
-    if total == 0:
-        raise InfeasibleMatchingError("no consistent perfect matching exists")
-    return counts / total
+    from repro.graph.exact import crack_distribution_exact
+
+    return crack_distribution_exact(space)

@@ -154,6 +154,8 @@ def assessment_to_json(assessment: RiskAssessment) -> dict:
             for item in sorted(assessment.interest, key=repr)
         ],
         "runs": assessment.runs,
+        "exact_cracks": assessment.exact_cracks,
+        "exact_strategy": assessment.exact_strategy,
         "interval_estimate": None
         if estimate is None
         else {
@@ -203,6 +205,10 @@ def assessment_from_json(payload: dict) -> RiskAssessment:
         alpha_max=None if payload.get("alpha_max") is None else float(payload["alpha_max"]),
         interest=interest,
         runs=None if payload.get("runs") is None else int(payload["runs"]),
+        exact_cracks=None
+        if payload.get("exact_cracks") is None
+        else float(payload["exact_cracks"]),
+        exact_strategy=payload.get("exact_strategy"),
     )
 
 

@@ -29,10 +29,37 @@ from repro.core.alpha import alpha_max as compute_alpha_max
 from repro.core.oestimate import OEstimateResult, o_estimate
 from repro.data.database import FrequencySource
 from repro.data.frequency import FrequencyGroups
-from repro.errors import RecipeError
-from repro.graph.bipartite import space_from_frequencies
+from repro.errors import GraphError, InfeasibleMatchingError, RecipeError
+from repro.graph.bipartite import FrequencyMappingSpace, space_from_frequencies
 
 __all__ = ["Decision", "RiskAssessment", "assess_risk"]
+
+#: The interval rung upgrades from the O-estimate to the exact engine
+#: when the plan's cost hint stays below this (see
+#: :func:`repro.graph.exact.exact_strategy`); pricier plans keep the
+#: historical O-estimate behaviour.
+EXACT_COST_BUDGET = 5e7
+
+
+def _try_exact_interval(
+    space: FrequencyMappingSpace, interest: frozenset | None
+) -> tuple[float | None, str | None]:
+    """Exact interval-rung expected cracks, or (None, None) to fall back."""
+    from repro.graph.exact import crack_marginals_exact, exact_strategy
+
+    plan = exact_strategy(space)
+    if not plan.matchable:
+        return 0.0, plan.strategy
+    if not plan.feasible or plan.cost_hint > EXACT_COST_BUDGET:
+        return None, None
+    try:
+        marginals = crack_marginals_exact(space)
+    except (GraphError, InfeasibleMatchingError):
+        return None, None
+    if interest is None:
+        return float(marginals.sum()), plan.strategy
+    indices = [space.item_index(x) for x in interest]
+    return float(marginals[indices].sum()), plan.strategy
 
 
 class Decision(enum.Enum):
@@ -72,6 +99,16 @@ class RiskAssessment:
     runs:
         Averaging runs used by the alpha-compliant stage, ``None`` when
         the recipe stopped before step 8.
+    exact_cracks:
+        Exact expected cracks for the interval-belief space, when the
+        structure-exploiting engine (:mod:`repro.graph.exact`) found a
+        cheap plan; ``None`` when exact was skipped or infeasible.  The
+        decision itself stays on the paper's Figure-8 O-estimate rule;
+        the exact value quantifies the O-estimate's known downward bias
+        (see EXPERIMENTS.md) so owners can judge the margin.
+    exact_strategy:
+        Which exact engine ran (``"interval-dp"``, ``"block-ryser"``,
+        ...), ``None`` when exact was skipped.
     """
 
     decision: Decision
@@ -83,6 +120,8 @@ class RiskAssessment:
     alpha_max: float | None = None
     interest: frozenset | None = None
     runs: int | None = None
+    exact_cracks: float | None = None
+    exact_strategy: str | None = None
 
     @property
     def disclose(self) -> bool:
@@ -104,6 +143,11 @@ class RiskAssessment:
             lines.append(
                 f"compliant-interval O-estimate = {self.interval_estimate.value:.2f} "
                 f"({self.interval_estimate.fraction:.4f} of domain)"
+            )
+        if self.exact_cracks is not None:
+            lines.append(
+                f"exact expected cracks = {self.exact_cracks:.4f} "
+                f"(strategy: {self.exact_strategy})"
             )
         if self.alpha_max is not None:
             lines.append(f"alpha_max = {self.alpha_max:.3f}")
@@ -180,8 +224,12 @@ def assess_risk(
     belief = uniform_width_belief(frequencies, delta)
     space = space_from_frequencies(belief, frequencies)
 
-    # Steps 6-7: the fully compliant O-estimate.
+    # Steps 6-7: the fully compliant O-estimate decides (Figure 8); the
+    # structure-exploiting engine additionally reports the *exact*
+    # expected cracks whenever it has a cheap plan (interval beliefs
+    # usually do — see docs/exact.md), exposing the O-estimate's bias.
     estimate = o_estimate(space, interest=interest)
+    exact_cracks, exact_strategy_name = _try_exact_interval(space, interest)
     if estimate.value <= tolerance * basis:
         return RiskAssessment(
             decision=Decision.DISCLOSE_INTERVAL,
@@ -191,6 +239,8 @@ def assess_risk(
             delta=delta,
             interval_estimate=estimate,
             interest=interest,
+            exact_cracks=exact_cracks,
+            exact_strategy=exact_strategy_name,
         )
 
     # Steps 8-9: search for the largest tolerable degree of compliancy.
@@ -205,4 +255,6 @@ def assess_risk(
         alpha_max=alpha,
         interest=interest,
         runs=runs,
+        exact_cracks=exact_cracks,
+        exact_strategy=exact_strategy_name,
     )

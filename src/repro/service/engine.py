@@ -40,7 +40,7 @@ from repro.data.database import FrequencyProfile, FrequencySource
 from repro.data.frequency import FrequencyGroups
 from repro.errors import RecipeError, ReproError
 from repro.graph.bipartite import space_from_frequencies
-from repro.recipe.assess import Decision, RiskAssessment
+from repro.recipe.assess import Decision, RiskAssessment, _try_exact_interval
 from repro.service.cache import AssessmentCache
 from repro.service.faults import fault_point
 from repro.service.fingerprint import (
@@ -463,9 +463,17 @@ class AssessmentEngine:
             delta = groups.median_gap()
         space = self._space_state(profile_key, frequencies, delta)
 
-        # Steps 6-7: the fully compliant O-estimate.
+        # Steps 6-7: the fully compliant O-estimate decides; the exact
+        # engine additionally serves ground truth when its plan is cheap.
         with self.metrics.timer("stage:oestimate"):
             estimate = o_estimate(space, interest=interest)
+        with self.metrics.timer("stage:exact"):
+            exact_cracks, exact_strategy_name = _try_exact_interval(space, interest)
+        if exact_strategy_name is not None:
+            self.metrics.increment("exact_served")
+            self.metrics.increment(f"exact:{exact_strategy_name}")
+        else:
+            self.metrics.increment("exact_skipped")
         if estimate.value <= tolerance * basis:
             return RiskAssessment(
                 decision=Decision.DISCLOSE_INTERVAL,
@@ -475,6 +483,8 @@ class AssessmentEngine:
                 delta=delta,
                 interval_estimate=estimate,
                 interest=interest,
+                exact_cracks=exact_cracks,
+                exact_strategy=exact_strategy_name,
             )
 
         # Steps 8-9: largest tolerable degree of compliancy, with the
@@ -494,4 +504,6 @@ class AssessmentEngine:
             alpha_max=alpha,
             interest=interest,
             runs=params.runs,
+            exact_cracks=exact_cracks,
+            exact_strategy=exact_strategy_name,
         )

@@ -22,7 +22,11 @@ from repro.simulation.diagnostics import (
     potential_scale_reduction,
 )
 from repro.simulation.estimate import SimulationResult, simulate_expected_cracks
-from repro.simulation.exact import sample_chain_cracks, simulate_chain_expected_cracks
+from repro.simulation.exact import (
+    best_expected_cracks,
+    sample_chain_cracks,
+    simulate_chain_expected_cracks,
+)
 from repro.simulation.gibbs import GibbsAssignmentSampler
 from repro.simulation.sampler import MatchingSampler
 
@@ -38,4 +42,5 @@ __all__ = [
     "effective_sample_size",
     "sample_chain_cracks",
     "simulate_chain_expected_cracks",
+    "best_expected_cracks",
 ]

@@ -23,10 +23,18 @@ import math
 import numpy as np
 
 from repro.core.chain import chain_from_space
-from repro.errors import NotAChainError, SimulationError
-from repro.graph.bipartite import FrequencyMappingSpace
+from repro.errors import GraphError, NotAChainError, SimulationError
+from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
 
-__all__ = ["sample_chain_cracks", "simulate_chain_expected_cracks"]
+__all__ = [
+    "sample_chain_cracks",
+    "simulate_chain_expected_cracks",
+    "best_expected_cracks",
+]
+
+#: Exact-engine cost hints below this run on the spot; pricier plans
+#: drop to the sampling rungs of the ladder.
+_EXACT_COST_BUDGET = 5e7
 
 
 def _boundary_membership(space: FrequencyMappingSpace):
@@ -133,3 +141,42 @@ def simulate_chain_expected_cracks(
     """Mean and standard error of the exact chain sampler's estimate."""
     samples = sample_chain_cracks(space, n_samples, rng=rng, rao_blackwell=rao_blackwell)
     return float(samples.mean()), float(samples.std(ddof=1) / math.sqrt(len(samples)))
+
+
+def best_expected_cracks(
+    space: MappingSpace,
+    n_samples: int = 1000,
+    rng: np.random.Generator | None = None,
+    exact_budget: float = _EXACT_COST_BUDGET,
+) -> tuple[float, float, str]:
+    """Estimate ``E[X]`` by the best rung of the strategy ladder.
+
+    Tries, in order: the structure-exploiting exact engine (when
+    :func:`repro.graph.exact.exact_strategy` deems the plan feasible and
+    its cost hint is below *exact_budget*), the exact i.i.d. chain
+    sampler, then MCMC (Gibbs on frequency spaces, swap otherwise).
+
+    Returns ``(estimate, standard_error, strategy)`` where *strategy* is
+    the plan name for exact rungs (``"interval-dp"``, ``"block-ryser"``,
+    ...), ``"chain-sampler"``, or ``"mcmc-gibbs"`` / ``"mcmc-swap"``;
+    exact rungs report a standard error of 0.
+    """
+    from repro.graph.exact import exact_strategy, expected_cracks_exact
+
+    plan = exact_strategy(space)
+    if plan.feasible and plan.cost_hint <= exact_budget:
+        try:
+            return expected_cracks_exact(space), 0.0, plan.strategy
+        except GraphError:
+            pass  # DP budget blown mid-run: drop to the sampling rungs
+    if isinstance(space, FrequencyMappingSpace):
+        try:
+            mean, stderr = simulate_chain_expected_cracks(space, n_samples, rng=rng)
+            return mean, stderr, "chain-sampler"
+        except NotAChainError:
+            pass
+    from repro.simulation.estimate import simulate_expected_cracks
+
+    method = "gibbs" if isinstance(space, FrequencyMappingSpace) else "swap"
+    result = simulate_expected_cracks(space, rng=rng, rao_blackwell=True, method=method)
+    return result.mean, result.std, f"mcmc-{method}"

@@ -66,42 +66,43 @@ class GibbsAssignmentSampler:
         )
         group_of_anon = space.groups.group_of
         self._assign: np.ndarray = group_of_anon[matching].astype(np.int64)
-        self._members: list[list[int]] = [[] for _ in range(self.k)]
-        for i in range(self.n):
-            self._members[int(self._assign[i])].append(i)
 
         self._g_lo = np.array([space.admissible_run(i)[0] for i in range(self.n)])
         self._g_hi = np.array([space.admissible_run(i)[1] for i in range(self.n)])
         self._true_group = np.array(
             [space.true_group(i) for i in range(self.n)], dtype=np.int64
         )
+        self._true_partner = np.array(
+            [space.true_partner(i) for i in range(self.n)], dtype=np.int64
+        )
         counts = space.groups.counts
         self._inv_group_size = 1.0 / counts[self._true_group]
+        self._counts = counts.astype(np.int64)
+        self._anon_members = [
+            np.asarray(space.groups.members[g], dtype=np.int64) for g in range(self.k)
+        ]
+        # Per-boundary candidate arrays: the items whose admissible run
+        # spans boundary g (may sit in group g or g+1 and admits both).
+        # Precomputing these turns the inner sweep into pure array ops.
+        self._spans: list[np.ndarray] = [
+            np.flatnonzero((self._g_lo <= g) & (self._g_hi > g + 1))
+            for g in range(max(self.k - 1, 0))
+        ]
 
     # -- chain ----------------------------------------------------------------
 
     def _resample_boundary(self, g: int) -> None:
         """Heat-bath reshuffle of the flexible items across groups g, g+1."""
-        h = g + 1
-        g_lo, g_hi = self._g_lo, self._g_hi
-        flexible = [i for i in self._members[g] if g_lo[i] <= g and g_hi[i] > h] + [
-            i for i in self._members[h] if g_lo[i] <= g and g_hi[i] > h
-        ]
-        if len(flexible) < 2:
+        span = self._spans[g]
+        assign_span = self._assign[span]
+        at_g = assign_span == g
+        flexible = span[at_g | (assign_span == g + 1)]
+        if flexible.size < 2:
             return
-        quota_g = sum(1 for i in self._members[g] if g_lo[i] <= g and g_hi[i] > h)
-        order = self.rng.permutation(len(flexible))
-        keep_g = {flexible[int(j)] for j in order[:quota_g]}
-        self._members[g] = [
-            i for i in self._members[g] if not (g_lo[i] <= g and g_hi[i] > h)
-        ]
-        self._members[h] = [
-            i for i in self._members[h] if not (g_lo[i] <= g and g_hi[i] > h)
-        ]
-        for i in flexible:
-            target = g if i in keep_g else h
-            self._members[target].append(i)
-            self._assign[i] = target
+        quota_g = int(at_g.sum())
+        order = self.rng.permutation(flexible.size)
+        self._assign[flexible] = g + 1
+        self._assign[flexible[order[:quota_g]]] = g
 
     def sweep(self, n_sweeps: int = 1) -> int:
         """Run passes over all adjacent boundaries in random order.
@@ -133,32 +134,25 @@ class GibbsAssignmentSampler:
     def crack_count(self) -> int:
         """A raw crack count: sample the within-group bijections uniformly."""
         cracks = 0
-        for g, members in enumerate(self._members):
-            size = len(members)
+        order = np.argsort(self._assign, kind="stable")
+        offsets = np.concatenate(([0], np.cumsum(np.bincount(self._assign, minlength=self.k))))
+        for g in range(self.k):
+            members = order[offsets[g] : offsets[g + 1]]
+            size = members.size
             if size == 0:
                 continue
             # Uniform bijection between assigned items and the group's
             # anonymized slots: an item is cracked when it lands on its
             # true partner, which requires its true group to be g.
             slots = self.rng.permutation(size)
-            anon_members = self.space.groups.members[g]
-            for position, item in enumerate(members):
-                if self._true_group[item] != g:
-                    continue
-                anon = anon_members[int(slots[position])]
-                if self.space.true_partner(item) == anon:
-                    cracks += 1
+            anons = self._anon_members[g][slots]
+            cracks += int(np.count_nonzero(anons == self._true_partner[members]))
         return cracks
 
     def check_consistency(self) -> bool:
         """Verify capacities and admissibility — a test/debug aid."""
-        counts = self.space.groups.counts
-        for g, members in enumerate(self._members):
-            if len(members) != int(counts[g]):
-                return False
-            for i in members:
-                if not self._g_lo[i] <= g < self._g_hi[i]:
-                    return False
-                if self._assign[i] != g:
-                    return False
-        return True
+        occupancy = np.bincount(self._assign, minlength=self.k)
+        if occupancy.size > self.k or not np.array_equal(occupancy, self._counts):
+            return False
+        admissible = (self._g_lo <= self._assign) & (self._assign < self._g_hi)
+        return bool(admissible.all())
