@@ -11,7 +11,6 @@ within a handful of sweeps everywhere.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.beliefs import uniform_width_belief
 from repro.data import FrequencyGroups

@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.data import FrequencyGroups
-from repro.datasets import BENCHMARK_NAMES, BENCHMARK_SPECS, load_benchmark
+from repro.datasets import BENCHMARK_SPECS, load_benchmark
 from repro.datasets.benchmarks import generate_benchmark_profile
 
 DATASET_ORDER = ["connect", "pumsb", "accidents", "retail", "mushroom", "chess"]

@@ -8,7 +8,6 @@ on a small instance.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.beliefs import ignorant_belief, point_belief

@@ -1,0 +1,39 @@
+"""``repro-lint``: static analysis of the reproduction's invariants.
+
+Four rule families guard what the tests can only probe pointwise:
+exactness (EX*), determinism (DT*), fault-safety (FS*) and layering
+(LY*).  See ``docs/analysis.md`` for the rationale and the suppression
+grammar, and :mod:`repro.analysis.lint.engine` for the machinery.
+"""
+
+from repro.analysis.lint.engine import (
+    DETERMINISM_MODULES,
+    EXACT_MODULES,
+    LAYERS,
+    REGISTRY,
+    FileContext,
+    LintResult,
+    Project,
+    ProjectRule,
+    Rule,
+    Suppression,
+    Violation,
+    analyze_source,
+    lint_paths,
+)
+
+__all__ = [
+    "DETERMINISM_MODULES",
+    "EXACT_MODULES",
+    "LAYERS",
+    "REGISTRY",
+    "FileContext",
+    "LintResult",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "analyze_source",
+    "lint_paths",
+]

@@ -1,0 +1,172 @@
+"""``repro-lint``: run the invariant analyzer over source trees.
+
+Exit status: 0 when clean, 1 when violations (or parse errors) were
+found, 2 on usage errors.  ``--format json`` emits a machine-readable
+report (per-rule counts plus the suppression audit trail) — the schema
+``BENCH_lint.json`` snapshots; ``--dot FILE`` writes the measured
+package import graph in Graphviz syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.lint.engine import (
+    REGISTRY,
+    LintResult,
+    Project,
+    iter_python_files,
+)
+from repro.analysis.lint.rules_layering import layering_dot
+
+__all__ = ["main", "build_parser", "result_to_json"]
+
+DEFAULT_PATHS = ("src", "benchmarks", "tests")
+
+#: Human summaries for report ids emitted outside the registry (the
+#: layering project rule reports LY002-LY004 under its siblings' ids).
+_EXTRA_SUMMARIES = {
+    "LY002": "lazy import against the layer order",
+    "LY003": "module-level import cycle",
+    "LY004": "package with no layer assignment",
+    "PARSE": "file failed to parse",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analyzer for the repro invariants "
+        "(exactness, determinism, fault-safety, layering).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src benchmarks tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="FILE",
+        default=None,
+        help="also write the package import graph as Graphviz DOT",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def rule_summary(rule_id: str) -> str:
+    rule = REGISTRY.get(rule_id)
+    if rule is not None:
+        return rule.summary
+    return _EXTRA_SUMMARIES.get(rule_id, "")
+
+
+def result_to_json(result: LintResult) -> dict:
+    """The ``--format json`` payload (the BENCH_lint.json schema)."""
+    counts: dict[str, int] = {}
+    for violation in result.violations + result.parse_errors:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    suppressed_counts: dict[str, int] = {}
+    for suppression in result.suppressed:
+        rule = suppression.violation.rule
+        suppressed_counts[rule] = suppressed_counts.get(rule, 0) + 1
+    return {
+        "schema_version": 1,
+        "files_scanned": result.files_scanned,
+        "clean": result.clean,
+        "rules_registered": sorted(REGISTRY),
+        "violation_counts": dict(sorted(counts.items())),
+        "suppressed_counts": dict(sorted(suppressed_counts.items())),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in result.violations + result.parse_errors
+        ],
+        "suppressed": [
+            {
+                "path": s.violation.path,
+                "line": s.violation.line,
+                "rule": s.violation.rule,
+                "justification": s.justification,
+            }
+            for s in result.suppressed
+        ],
+    }
+
+
+def _render_text(result: LintResult, stream) -> None:
+    for violation in result.parse_errors + result.violations:
+        print(violation.render(), file=stream)
+    if result.clean:
+        print(
+            f"repro-lint: {result.files_scanned} files clean "
+            f"({len(result.suppressed)} audited suppressions)",
+            file=stream,
+        )
+    else:
+        total = len(result.violations) + len(result.parse_errors)
+        print(
+            f"repro-lint: {total} violations in {result.files_scanned} files",
+            file=stream,
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage error, 0 on --help; keep callable.
+        return 0 if not exc.code else 2
+    if options.list_rules:
+        project = Project()  # forces rule registration
+        del project
+        for rule_id in sorted(REGISTRY):
+            rule = REGISTRY[rule_id]
+            print(f"{rule_id}  [{rule.family}]  {rule.summary}")
+        return 0
+    missing = [path for path in options.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro-lint: path does not exist: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    project = Project()
+    for file_path in iter_python_files(options.paths):
+        project.add_file(file_path)
+    result = project.run()
+    if options.dot is not None:
+        Path(options.dot).write_text(
+            layering_dot(project.contexts), encoding="utf-8"
+        )
+    if options.format == "json":
+        json.dump(result_to_json(result), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        _render_text(result, sys.stdout)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

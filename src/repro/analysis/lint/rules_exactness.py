@@ -1,0 +1,184 @@
+"""Exactness rules: the exact-counting core computes in Python integers.
+
+The paper's Section 4-5 guarantees (exact permanents, exact crack laws)
+hold only while :data:`~repro.analysis.lint.engine.EXACT_MODULES` do
+their counting in arbitrary-precision integers — a float Ryser sum at
+``n = 22`` cancels catastrophically, and a float creeping into a DP
+state silently turns "exact" into "approximately exact".  Floats are
+legal only at documented boundaries (probability laws, cost heuristics,
+the public ``float`` API edge), each marked with a justified
+suppression comment that ``--format json`` reports as the audit trail.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.engine import (
+    EXACT_MODULES,
+    FileContext,
+    Rule,
+    Violation,
+    register,
+)
+
+__all__ = ["EXACT_MATH_ALLOWLIST", "NUMPY_FLOAT_ATTRS"]
+
+#: ``math`` members that stay in exact integers.
+EXACT_MATH_ALLOWLIST = frozenset(
+    {"comb", "perm", "factorial", "gcd", "lcm", "isqrt", "prod"}
+)
+
+#: ``numpy`` members that produce (or are) floats.
+NUMPY_FLOAT_ATTRS = frozenset(
+    {
+        "float16",
+        "float32",
+        "float64",
+        "float128",
+        "half",
+        "single",
+        "double",
+        "longdouble",
+        "divide",
+        "true_divide",
+        "mean",
+        "average",
+        "exp",
+        "log",
+        "log2",
+        "log10",
+        "sqrt",
+        "inf",
+        "nan",
+    }
+)
+
+_NUMPY_NAMES = ("np", "numpy")
+
+
+def _applies(ctx: FileContext) -> bool:
+    return ctx.module in EXACT_MODULES
+
+
+def _is_numpy_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_NAMES
+    )
+
+
+@register
+class FloatLiteralRule(Rule):
+    id = "EX001"
+    family = "exactness"
+    summary = "float literal in an exact-integer module"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, (float, complex)
+            ):
+                yield ctx.violation(
+                    self,
+                    node,
+                    f"float literal {node.value!r} in exact-integer module "
+                    f"{ctx.module}; count in Python ints (suppress only at a "
+                    "documented boundary)",
+                )
+
+
+@register
+class TrueDivisionRule(Rule):
+    id = "EX002"
+    family = "exactness"
+    summary = "true division in an exact-integer module"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield ctx.violation(
+                    self,
+                    node,
+                    "true division '/' yields a float; use Fraction, '//', or "
+                    "defer the ratio to a documented boundary",
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                yield ctx.violation(
+                    self,
+                    node,
+                    "'/=' yields a float; use Fraction or an explicit boundary",
+                )
+
+
+@register
+class InexactMathRule(Rule):
+    id = "EX003"
+    family = "exactness"
+    summary = "non-integer math.* member in an exact-integer module"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "math"
+                and node.attr not in EXACT_MATH_ALLOWLIST
+            ):
+                yield ctx.violation(
+                    self,
+                    node,
+                    f"math.{node.attr} is not exact-integer arithmetic "
+                    f"(allowed: {', '.join(sorted(EXACT_MATH_ALLOWLIST))})",
+                )
+
+
+@register
+class NumpyFloatRule(Rule):
+    id = "EX004"
+    family = "exactness"
+    summary = "float-producing numpy usage or float() cast"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if _is_numpy_attr(node) and node.attr in NUMPY_FLOAT_ATTRS:
+                    prefix = node.value.id if isinstance(node.value, ast.Name) else "np"
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"{prefix}.{node.attr} is a float dtype/op in an "
+                        "exact-integer module",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                yield ctx.violation(
+                    self,
+                    node,
+                    "float(...) cast in an exact-integer module; mark the "
+                    "documented boundary with a suppression",
+                )
+            elif (
+                isinstance(node, ast.keyword)
+                and node.arg == "dtype"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "float"
+            ):
+                yield ctx.violation(
+                    self,
+                    node.value,
+                    "float dtype in an exact-integer module",
+                )

@@ -1,0 +1,234 @@
+"""Layering rules: packages import strictly downward.
+
+The intended architecture is a DAG of layers
+(``data → mining/anonymize/beliefs → graph → simulation → recipe →
+service``, full map in :data:`~repro.analysis.lint.engine.LAYERS`): an
+import must point at a strictly lower layer.  Two known upcalls exist —
+``graph.marginals`` reaches up to :mod:`repro.core` /
+:mod:`repro.simulation` for the strategy ladder — and both are *lazy*
+(function-level) imports carrying an audited LY002 suppression; a
+module-level upward import (LY001) or a cycle in the module-level graph
+(LY003) is always an error.  ``layering_dot`` renders the measured
+package graph for ``repro-lint --dot``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.analysis.lint.engine import (
+    LAYERS,
+    FileContext,
+    ProjectRule,
+    Violation,
+    register,
+)
+
+__all__ = ["ImportEdge", "collect_imports", "layering_dot"]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One ``repro.*`` import found in a source file."""
+
+    source_module: str
+    target_module: str
+    line: int
+    col: int
+    lazy: bool  # inside a function body (deferred at import time)
+
+    @property
+    def source_package(self) -> str:
+        return _package_of(self.source_module)
+
+    @property
+    def target_package(self) -> str:
+        return _package_of(self.target_module)
+
+
+def _package_of(module: str) -> str:
+    """Top-level package key of a dotted ``repro`` module name."""
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) == 1:
+        return parts[0]
+    return parts[1]
+
+
+def _is_lazy(ctx: FileContext, node: ast.AST) -> bool:
+    parent = ctx.parent(node)
+    while parent is not None:
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return True
+        parent = ctx.parent(parent)
+    return False
+
+
+def _resolve_relative(ctx_module: str, level: int, module: str | None) -> str | None:
+    """Absolute target of a ``from . import x``-style import."""
+    parts = ctx_module.split(".")
+    if level > len(parts):
+        return None
+    base = parts[: len(parts) - level] if level else parts
+    if module:
+        base = base + module.split(".")
+    return ".".join(base) if base else None
+
+
+def collect_imports(ctx: FileContext) -> list[ImportEdge]:
+    """Every ``repro.*`` import in *ctx*, with position and laziness."""
+    if ctx.module is None:
+        return []
+    edges = []
+    for node in ast.walk(ctx.tree):
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                resolved = _resolve_relative(ctx.module, node.level, node.module)
+                if resolved is not None:
+                    targets = [resolved]
+            elif node.module is not None:
+                targets = [node.module]
+        else:
+            continue
+        lazy = _is_lazy(ctx, node)
+        for target in targets:
+            if target == "repro" or target.startswith("repro."):
+                edges.append(
+                    ImportEdge(
+                        source_module=ctx.module,
+                        target_module=target,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        lazy=lazy,
+                    )
+                )
+    return edges
+
+
+def _find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
+    """One cycle in *graph* as ``[a, b, ..., a]``, or ``None``."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        color[node] = GRAY
+        stack.append(node)
+        for neighbor in sorted(graph.get(node, ())):
+            if color.get(neighbor, WHITE) == GRAY:
+                return stack[stack.index(neighbor) :] + [neighbor]
+            if color.get(neighbor, WHITE) == WHITE:
+                found = visit(neighbor)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for start in sorted(graph):
+        if color[start] == WHITE:
+            found = visit(start)
+            if found is not None:
+                return found
+    return None
+
+
+@register
+class LayeringRule(ProjectRule):
+    id = "LY001"
+    family = "layering"
+    summary = "module-level import against the layer order"
+
+    #: Sibling ids reported through this project rule.
+    LAZY_ID = "LY002"
+    CYCLE_ID = "LY003"
+    UNKNOWN_ID = "LY004"
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[tuple[FileContext, Violation]]:
+        module_graph: dict[str, set[str]] = {}
+        for ctx in contexts:
+            for edge in collect_imports(ctx):
+                src_pkg, dst_pkg = edge.source_package, edge.target_package
+                for package, position in ((src_pkg, "source"), (dst_pkg, "target")):
+                    if package not in LAYERS:
+                        yield ctx, Violation(
+                            path=ctx.path,
+                            line=edge.line,
+                            col=edge.col,
+                            rule=self.UNKNOWN_ID,
+                            message=(
+                                f"{position} package '{package}' has no layer "
+                                "assignment; add it to LAYERS in "
+                                "repro.analysis.lint.engine"
+                            ),
+                        )
+                if src_pkg not in LAYERS or dst_pkg not in LAYERS:
+                    continue
+                if not edge.lazy:
+                    module_graph.setdefault(edge.source_module, set()).add(
+                        edge.target_module
+                    )
+                if src_pkg == dst_pkg:
+                    continue
+                if LAYERS[dst_pkg] >= LAYERS[src_pkg]:
+                    direction = (
+                        "same-layer" if LAYERS[dst_pkg] == LAYERS[src_pkg] else "upward"
+                    )
+                    rule_id = self.LAZY_ID if edge.lazy else self.id
+                    hint = (
+                        "lazy upcalls need an audited suppression"
+                        if edge.lazy
+                        else "invert the dependency or move the shared code down"
+                    )
+                    yield ctx, Violation(
+                        path=ctx.path,
+                        line=edge.line,
+                        col=edge.col,
+                        rule=rule_id,
+                        message=(
+                            f"{direction} import {src_pkg} (layer "
+                            f"{LAYERS[src_pkg]}) -> {dst_pkg} (layer "
+                            f"{LAYERS[dst_pkg]}); {hint}"
+                        ),
+                    )
+        cycle = _find_cycle(module_graph)
+        if cycle is not None:
+            culprit = cycle[0]
+            ctx = next((c for c in contexts if c.module == culprit), contexts[0])
+            yield ctx, Violation(
+                path=ctx.path,
+                line=1,
+                col=0,
+                rule=self.CYCLE_ID,
+                message=(
+                    "module-level import cycle: " + " -> ".join(cycle)
+                ),
+            )
+
+
+def layering_dot(contexts: Sequence[FileContext]) -> str:
+    """The measured package import graph in Graphviz DOT syntax."""
+    edges: set[tuple[str, str, bool]] = set()
+    packages: set[str] = set()
+    for ctx in contexts:
+        for edge in collect_imports(ctx):
+            src_pkg, dst_pkg = edge.source_package, edge.target_package
+            packages.update((src_pkg, dst_pkg))
+            if src_pkg != dst_pkg:
+                edges.add((src_pkg, dst_pkg, edge.lazy))
+    lines = ["digraph layering {", "  rankdir=BT;"]
+    for package in sorted(packages):
+        layer = LAYERS.get(package)
+        label = package if layer is None else f"{package}\\nlayer {layer}"
+        lines.append(f'  "{package}" [label="{label}"];')
+    for src, dst, lazy in sorted(edges):
+        style = ' [style=dashed, label="lazy"]' if lazy else ""
+        lines.append(f'  "{src}" -> "{dst}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

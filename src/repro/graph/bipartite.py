@@ -52,8 +52,8 @@ class MappingSpace(abc.ABC):
     anonymized items are ``0..n-1`` in the order of :attr:`anonymized`.
     """
 
-    items: tuple
-    anonymized: tuple
+    items: tuple[Item, ...]
+    anonymized: tuple[Item, ...]
 
     @property
     def n(self) -> int:
@@ -151,8 +151,8 @@ class FrequencyMappingSpace(MappingSpace):
 
     def __init__(
         self,
-        items: Sequence,
-        anonymized: Sequence,
+        items: Sequence[Item],
+        anonymized: Sequence[Item],
         observed: Sequence[float],
         intervals: Sequence[tuple[float, float]],
         true_partner_of: Sequence[int],
@@ -244,8 +244,8 @@ class ExplicitMappingSpace(MappingSpace):
 
     def __init__(
         self,
-        items: Sequence,
-        anonymized: Sequence,
+        items: Sequence[Item],
+        anonymized: Sequence[Item],
         adjacency: Sequence[Iterable[int]],
         true_partner_of: Sequence[int],
     ):
@@ -256,7 +256,7 @@ class ExplicitMappingSpace(MappingSpace):
         self.items = tuple(items)
         self.anonymized = tuple(anonymized)
         n = len(items)
-        self._adjacency: tuple[frozenset, ...] = tuple(
+        self._adjacency: tuple[frozenset[int], ...] = tuple(
             frozenset(int(j) for j in row) for row in adjacency
         )
         for i, row in enumerate(self._adjacency):

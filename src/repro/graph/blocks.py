@@ -135,7 +135,7 @@ def _decompose_frequency(space: FrequencyMappingSpace) -> BlockDecomposition:
 class _UnionFind:
     __slots__ = ("parent",)
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         self.parent = list(range(size))
 
     def find(self, x: int) -> int:

@@ -83,6 +83,8 @@ class ExactPlan:
     cost_hint:
         Rough operation count for an exact expected-cracks computation —
         compare against a budget before running on a serving path.
+        Computed in exact integers (counts of DP transitions / Ryser
+        subsets), so plans for the same space always compare equal.
     reason:
         Why the plan is infeasible / unmatchable, when it is.
     """
@@ -99,7 +101,9 @@ class ExactPlan:
     reason: str | None = None
 
 
-def _frequency_block_problem(space: FrequencyMappingSpace, block: Block):
+def _frequency_block_problem(
+    space: FrequencyMappingSpace, block: Block
+) -> tuple[tuple[int, ...], dict[tuple[int, int], int], int]:
     """Capacities, interchangeability classes and run width of one block."""
     a, b = block.group_range
     capacities = tuple(int(c) for c in space.groups.counts[a:b])
@@ -112,7 +116,9 @@ def _frequency_block_problem(space: FrequencyMappingSpace, block: Block):
     return capacities, classes, width
 
 
-def _dp_cost_hint(capacities, classes, width: int) -> float:
+def _dp_cost_hint(
+    capacities: tuple[int, ...], classes: dict[tuple[int, int], int], width: int
+) -> int:
     """Crude transition-count estimate for one block's DP sweep.
 
     The state space is the set of feasible pending-by-deadline profiles;
@@ -122,17 +128,13 @@ def _dp_cost_hint(capacities, classes, width: int) -> float:
     expensive" only costs accuracy, never latency.
     """
     if width <= 1:
-        return float(len(capacities))
-    max_pending = 0
-    if width >= 2:
-        window = width - 1
-        sums = [sum(capacities[g : g + window]) for g in range(len(capacities))]
-        max_pending = max(sums, default=0)
+        return len(capacities)
+    window = width - 1
+    sums = [sum(capacities[g : g + window]) for g in range(len(capacities))]
+    max_pending = max(sums, default=0)
     states = math.comb(max_pending + max(width - 2, 0), max(width - 2, 0))
     transitions = math.comb(max_pending + width - 1, width - 1)
-    return float(len(capacities)) * float(min(states, 10**9)) * float(
-        min(transitions, 10**9)
-    )
+    return len(capacities) * min(states, 10**9) * min(transitions, 10**9)
 
 
 def exact_strategy(space: MappingSpace, limit: int | None = None) -> ExactPlan:
@@ -151,28 +153,28 @@ def exact_strategy(space: MappingSpace, limit: int | None = None) -> ExactPlan:
             largest_block=decomposition.largest_block,
             block_sizes=decomposition.block_sizes,
             block_strategies=(),
-            cost_hint=0.0,
+            cost_hint=0,
             reason=decomposition.reason,
         )
 
     is_frequency = isinstance(space, FrequencyMappingSpace)
     block_strategies: list[str] = []
-    cost = 0.0
+    cost = 0
     feasible = True
     reason = None
     for block in decomposition.blocks:
         if is_frequency:
             capacities, classes, width = _frequency_block_problem(space, block)
             hint = _dp_cost_hint(capacities, classes, width)
-            if hint <= float(block.n) * 2.0**block.n or block.n > limit:
+            if hint <= block.n * 2**block.n or block.n > limit:
                 block_strategies.append(STRATEGY_INTERVAL_DP)
                 cost += hint * max(len(classes), 1)
             else:
                 block_strategies.append(STRATEGY_RYSER)
-                cost += float(block.n) ** 2 * 2.0**block.n
+                cost += block.n**2 * 2**block.n
         elif block.n <= limit:
             block_strategies.append(STRATEGY_RYSER)
-            cost += float(block.n) ** 2 * 2.0**block.n
+            cost += block.n**2 * 2**block.n
         else:
             block_strategies.append(STRATEGY_INFEASIBLE)
             feasible = False
@@ -211,18 +213,18 @@ def _overall_name(space: MappingSpace, decomposition: BlockDecomposition) -> str
 
 def _block_adjacency(space: MappingSpace, block: Block) -> np.ndarray:
     anon_local = {j: r for r, j in enumerate(block.anon_indices)}
-    matrix = np.zeros((len(block.anon_indices), len(block.item_indices)))
+    # Integer dtype keeps `permanent` on its exact Python-int path.
+    matrix = np.zeros((len(block.anon_indices), len(block.item_indices)), dtype=np.int64)
     for c, i in enumerate(block.item_indices):
         for j in space.candidates(i):
-            matrix[anon_local[j], c] = 1.0
+            matrix[anon_local[j], c] = 1
     return matrix
 
 
 def _ryser_count(space: MappingSpace, block: Block, limit: int) -> int:
     from repro.graph.permanent import permanent
 
-    value = permanent(_block_adjacency(space, block), limit=limit)
-    return int(round(value))
+    return int(permanent(_block_adjacency(space, block), limit=limit))
 
 
 def _frequency_block_count(
@@ -298,6 +300,7 @@ def _frequency_block_marginals(
         run = (g_lo - a, g_hi - a)
         local_group = true_group - a
         placed = placement.get((run, local_group), 0)
+        # repro-lint: disable-next-line=EX004 -- probability boundary: exact Fraction rounded once into the output array
         marginals[i] = float(
             Fraction(
                 placed, total * classes[run] * capacities[local_group]
@@ -322,10 +325,10 @@ def _explicit_block_marginals(
     for c, i in enumerate(block.item_indices):
         j = space.true_partner(i)
         row = anon_local.get(j)
-        if row is None or matrix[row, c] == 0.0:
+        if row is None or matrix[row, c] == 0:
             continue
         minor = np.delete(np.delete(matrix, row, axis=0), c, axis=1)
-        marginals[i] = permanent(minor, limit=limit) / total
+        marginals[i] = permanent(minor, limit=limit) / total  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
 
 
 def crack_marginals_exact(
@@ -343,7 +346,7 @@ def crack_marginals_exact(
     decomposition = decompose(space)
     if not decomposition.matchable:
         raise InfeasibleMatchingError("no consistent perfect matching exists")
-    marginals = np.zeros(space.n, dtype=np.float64)
+    marginals = np.zeros(space.n, dtype=np.float64)  # repro-lint: disable=EX004 -- probability boundary: output array of P(crack)
     for block in decomposition.blocks:
         if isinstance(space, FrequencyMappingSpace):
             _frequency_block_marginals(space, block, marginals, budget)
@@ -363,7 +366,7 @@ def expected_cracks_exact(
     the Ryser cap: linearity makes ``E[X]`` the sum of per-block
     marginal sums, each computed by the block's engine.
     """
-    return float(crack_marginals_exact(space, limit=limit, budget=budget).sum())
+    return float(crack_marginals_exact(space, limit=limit, budget=budget).sum())  # repro-lint: disable=EX004 -- public float API edge
 
 
 def _enumerate_block_law(space: MappingSpace, block: Block) -> np.ndarray:
@@ -380,9 +383,8 @@ def _enumerate_block_law(space: MappingSpace, block: Block) -> np.ndarray:
         truth.append(anon_local.get(space.true_partner(i), -1))
     order = sorted(range(n_local), key=lambda c: len(candidates[c]))
 
-    counts = np.zeros(n_local + 1, dtype=np.float64)
+    counts = [0] * (n_local + 1)
     used = [False] * n_local
-    assignment = [-1] * n_local
 
     def extend(depth: int, cracks: int) -> None:
         if depth == n_local:
@@ -396,10 +398,10 @@ def _enumerate_block_law(space: MappingSpace, block: Block) -> np.ndarray:
                 used[r] = False
 
     extend(0, 0)
-    total = counts.sum()
+    total = sum(counts)
     if total == 0:
         raise InfeasibleMatchingError("no consistent perfect matching exists")
-    return counts / total
+    return np.asarray(counts, dtype=np.float64) / total  # repro-lint: disable=EX002,EX004 -- probability boundary: exact counts become the block law
 
 
 def _frequency_block_law(
@@ -434,7 +436,7 @@ def crack_distribution_exact(
     decomposition = decompose(space)
     if not decomposition.matchable:
         raise InfeasibleMatchingError("no consistent perfect matching exists")
-    law = np.array([1.0])
+    law = np.array([1.0])  # repro-lint: disable=EX001 -- probability boundary: identity law for the convolution
     for block in decomposition.blocks:
         if isinstance(space, FrequencyMappingSpace):
             try:
@@ -453,6 +455,6 @@ def crack_distribution_exact(
                 )
             block_law = _enumerate_block_law(space, block)
         law = np.convolve(law, block_law)
-    result = np.zeros(space.n + 1, dtype=np.float64)
+    result = np.zeros(space.n + 1, dtype=np.float64)  # repro-lint: disable=EX004 -- probability boundary: output law P(X=k)
     result[: len(law)] = law
     return result

@@ -19,7 +19,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class ObservedGroups:
 
     __slots__ = ("freqs", "counts", "prefix", "members", "group_of")
 
-    def __init__(self, observed: Sequence[float]):
+    def __init__(self, observed: Sequence[float]) -> None:
         by_freq: dict[float, list[int]] = defaultdict(list)
         for j, f in enumerate(observed):
             by_freq[float(f)].append(j)
@@ -108,7 +108,7 @@ class BeliefGroupPartition:
 
     __slots__ = ("groups",)
 
-    def __init__(self, runs: Sequence[tuple[int, int]]):
+    def __init__(self, runs: Sequence[tuple[int, int]]) -> None:
         by_run: dict[tuple[int, int], list[int]] = defaultdict(list)
         for i, run in enumerate(runs):
             by_run[run].append(i)
@@ -120,7 +120,7 @@ class BeliefGroupPartition:
     def __len__(self) -> int:
         return len(self.groups)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[BeliefGroup]:
         return iter(self.groups)
 
     def is_chain(self, n_frequency_groups: int) -> bool:

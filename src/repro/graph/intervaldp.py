@@ -34,7 +34,7 @@ import math
 from dataclasses import dataclass
 from fractions import Fraction
 from functools import lru_cache
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -81,7 +81,9 @@ def _check_problem(capacities: tuple[int, ...], classes: Mapping[Run, int]) -> i
     return total
 
 
-def _compositions(available: list[int], amount: int):
+def _compositions(
+    available: list[int], amount: int
+) -> Iterator[tuple[int, tuple[int, ...]]]:
     """Yield ``(ways, chosen)`` for every way to draw *amount* items.
 
     *available* lists per-class pending counts; *chosen* is the per-class
@@ -94,7 +96,7 @@ def _compositions(available: list[int], amount: int):
         suffix[index] = suffix[index + 1] + available[index]
     chosen = [0] * n_classes
 
-    def rec(index: int, remaining: int, ways: int):
+    def rec(index: int, remaining: int, ways: int) -> Iterator[tuple[int, tuple[int, ...]]]:
         if remaining > suffix[index]:
             return
         if index == n_classes:
@@ -297,7 +299,9 @@ def class_placement_totals(
     for g in range(k):
         capacity_prefix[g + 1] = capacity_prefix[g] + capacities[g]
 
-    def merge_arrivals(state: tuple, g: int) -> tuple:
+    _State = tuple[tuple[Run, int], ...]
+
+    def merge_arrivals(state: "_State", g: int) -> "_State":
         if g >= k or not arrivals[g]:
             return state
         pending = dict(state)
@@ -399,7 +403,7 @@ def class_placement_totals(
 
 
 @lru_cache(maxsize=4096)
-def _match_count_law(capacity: int, n_special: int) -> tuple[float, ...]:
+def _match_count_law(capacity: int, n_special: int) -> tuple[float, ...]:  # repro-lint: disable-function=EX004 -- probability boundary: exact rencontres Fractions rounded once on output
     """Law of the number of fixed special pairs in a uniform bijection.
 
     *capacity* items are paired uniformly with *capacity* slots;
@@ -422,7 +426,7 @@ def _match_count_law(capacity: int, n_special: int) -> tuple[float, ...]:
     return tuple(law)
 
 
-def crack_law(
+def crack_law(  # repro-lint: disable-function=EX001,EX002,EX004 -- probability layer: per-layer renormalized float polynomials (only ratios matter; see docstring)
     capacities: tuple[int, ...],
     refined_classes: Mapping[tuple[int, int, int | None], int],
     budget: DPBudget = DEFAULT_BUDGET,
@@ -576,7 +580,7 @@ def _convolve_hits(poly: np.ndarray, capacity: int, n_special: int) -> np.ndarra
     return np.convolve(poly, law)
 
 
-def _accumulate(states: dict[tuple, np.ndarray], key: tuple, poly: np.ndarray) -> None:
+def _accumulate(states: dict[tuple, np.ndarray], key: tuple, poly: np.ndarray) -> None:  # repro-lint: disable-function=EX004 -- probability layer: float crack-count polynomials
     existing = states.get(key)
     if existing is None:
         states[key] = np.array(poly, dtype=np.float64)

@@ -71,26 +71,43 @@ def _matrix_blocks(matrix: np.ndarray) -> list[tuple[list[int], list[int]]]:
     return [components[key] for key in sorted(components)]
 
 
-def permanent(matrix: np.ndarray, limit: int | None = None) -> float:
+def _is_integral(matrix: np.ndarray) -> bool:
+    """Whether every entry is an exact integer (int/bool dtype or whole floats)."""
+    if matrix.dtype.kind in "iub":
+        return True
+    if matrix.dtype.kind != "f":
+        return False
+    return bool(np.all(np.isfinite(matrix)) and np.all(matrix == np.rint(matrix)))
+
+
+def permanent(matrix: np.ndarray, limit: int | None = None) -> int | float:
     """The permanent of a square matrix, by Ryser's formula over blocks.
 
     Uses Gray-code subset iteration so each of the ``2^n - 1`` subsets
-    costs ``O(n)``.  Matrices larger than ``limit`` (default 22) are
-    split into connected blocks first — the permanent is the product of
-    block permanents — and only a *block* beyond the limit is
-    infeasible.  Pass ``limit`` to accept a higher cost explicitly.
+    costs ``O(n)``.  Integral matrices (any int/bool dtype, or floats
+    whose entries are whole numbers — every adjacency matrix) are summed
+    in arbitrary-precision Python ints and return an exact ``int``; only
+    genuinely weighted real matrices take the float path, whose Ryser
+    sum can cancel catastrophically near the cap.  Matrices larger than
+    ``limit`` (default 22) are split into connected blocks first — the
+    permanent is the product of block permanents — and only a *block*
+    beyond the limit is infeasible.  Pass ``limit`` to accept a higher
+    cost explicitly.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = np.asarray(matrix)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise GraphError(f"permanent needs a square matrix, got shape {matrix.shape}")
     n = matrix.shape[0]
     cap = _PERMANENT_LIMIT if limit is None else int(limit)
+    integral = _is_integral(matrix)
+    ryser = _ryser_int if integral else _ryser_float
     if n == 0:
-        return 1.0
+        return 1 if integral else 1.0  # repro-lint: disable=EX001 -- weighted-path identity
     if n > cap:
         blocks = _matrix_blocks(matrix)
         if any(len(rows) != len(cols) for rows, cols in blocks):
-            return 0.0  # some rows can only use fewer columns: no permutation survives
+            # Some rows can only use fewer columns: no permutation survives.
+            return 0 if integral else 0.0  # repro-lint: disable=EX001 -- weighted-path zero
         largest = max(len(rows) for rows, _ in blocks)
         if largest > cap:
             raise GraphError(
@@ -100,22 +117,71 @@ def permanent(matrix: np.ndarray, limit: int | None = None) -> float:
                 "count_matchings_exact (block-ryser, interval-dp) — or the "
                 "O-estimate or the simulator"
             )
-        result = 1.0
-        for rows, cols in blocks:
-            result *= _ryser(matrix[np.ix_(rows, cols)])
-            if result == 0.0:
-                return 0.0
+        result = ryser(matrix[np.ix_(*blocks[0])])
+        for rows, cols in blocks[1:]:
+            if result == 0:
+                return result
+            result = result * ryser(matrix[np.ix_(rows, cols)])
         return result
-    return _ryser(matrix)
+    return ryser(matrix)
 
 
-def _ryser(matrix: np.ndarray) -> float:
+def _ryser(matrix: np.ndarray) -> int | float:
+    """Single-block Ryser, dispatched on integrality (no block split)."""
+    matrix = np.asarray(matrix)
+    return _ryser_int(matrix) if _is_integral(matrix) else _ryser_float(matrix)
+
+
+def _ryser_int(matrix: np.ndarray) -> int:
+    """Ryser's formula in exact Python-int arithmetic.
+
+    perm(A) = (-1)^n * sum over non-empty column subsets S of
+    (-1)^|S| * prod_i sum_{j in S} a[i, j].  Gray-code iteration keeps a
+    running row-sum vector so each subset costs O(n); arbitrary-precision
+    ints make the alternating sum exact where the float version loses
+    digits to cancellation.
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return 1
+    columns = [[int(value) for value in matrix[:, j]] for j in range(n)]
+    row_sums = [0] * n
+    total = 0
+    subset = 0
+    subset_size = 0
+    for counter in range(1, 1 << n):
+        flip = (counter & -counter).bit_length() - 1  # lowest set bit of counter
+        bit = 1 << flip
+        column = columns[flip]
+        if subset & bit:
+            for i in range(n):
+                row_sums[i] -= column[i]
+            subset_size -= 1
+        else:
+            for i in range(n):
+                row_sums[i] += column[i]
+            subset_size += 1
+        subset ^= bit
+        product = 1
+        for value in row_sums:
+            if value == 0:
+                product = 0
+                break
+            product *= value
+        total += -product if subset_size % 2 else product
+    return total if n % 2 == 0 else -total
+
+
+def _ryser_float(matrix: np.ndarray) -> float:  # repro-lint: disable-function=EX001,EX004 -- weighted boundary: real-valued matrices have no exact-int representation
+    """Ryser's formula for genuinely weighted (non-integral) matrices.
+
+    Vectorized float arithmetic; subject to cancellation in the
+    alternating sum, which is why integral matrices never come here.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
     n = matrix.shape[0]
     if n == 0:
         return 1.0
-    # Ryser: perm(A) = (-1)^n * sum over non-empty column subsets S of
-    # (-1)^|S| * prod_i sum_{j in S} a[i, j].  Gray-code iteration keeps a
-    # running row-sum vector so each subset costs O(n).
     row_sums = np.zeros(n, dtype=np.float64)
     total = 0.0
     subset = 0
@@ -148,9 +214,9 @@ def count_matchings(space: MappingSpace) -> float:
 
     count = count_matchings_exact(space)
     try:
-        return float(count)
+        return float(count)  # repro-lint: disable=EX004 -- public float API edge over the exact count
     except OverflowError:
-        return math.inf
+        return math.inf  # repro-lint: disable=EX003 -- count exceeds float range; inf is the documented sentinel
 
 
 def expected_cracks_direct(space: MappingSpace) -> float:
@@ -171,7 +237,7 @@ def expected_cracks_direct(space: MappingSpace) -> float:
     return expected_cracks_exact(space)
 
 
-def crack_distribution_permanent(space: MappingSpace) -> np.ndarray:
+def crack_distribution_permanent(space: MappingSpace) -> np.ndarray:  # repro-lint: disable-function=EX001,EX002,EX004 -- probability-law boundary: counts become P(X=k) here
     """``P(X = k)`` by the paper's literal Section 4.1 formula.
 
     For each candidate crack set ``S`` of size ``k``, remove the nodes of

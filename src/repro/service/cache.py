@@ -52,7 +52,7 @@ class _Flight:
 
     __slots__ = ("event", "value", "error")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.event = threading.Event()
         self.value: RiskAssessment | None = None
         self.error: BaseException | None = None
@@ -72,7 +72,7 @@ class AssessmentCache:
         process (or a pool worker) warm-starts from earlier runs.
     """
 
-    def __init__(self, capacity: int = 256, directory: PathLike | None = None):
+    def __init__(self, capacity: int = 256, directory: PathLike | None = None) -> None:
         if capacity < 1:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
@@ -157,7 +157,7 @@ class AssessmentCache:
 
     # -- management -------------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Hit/miss/eviction counters plus current size and capacity."""
         with self._lock:
             return dict(

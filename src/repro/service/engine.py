@@ -29,7 +29,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Generic, Iterable, Sequence, TypeVar
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from repro.core.oestimate import o_estimate
 from repro.data.database import FrequencyProfile, FrequencySource
 from repro.data.frequency import FrequencyGroups
 from repro.errors import RecipeError, ReproError
-from repro.graph.bipartite import space_from_frequencies
+from repro.graph.bipartite import FrequencyMappingSpace, space_from_frequencies
 from repro.recipe.assess import Decision, RiskAssessment, _try_exact_interval
 from repro.service.cache import AssessmentCache
 from repro.service.faults import fault_point
@@ -85,22 +85,26 @@ class BatchResult:
         return self.assessment is not None
 
 
-class _LRU:
+_K = TypeVar("_K")
+_V = TypeVar("_V")
+
+
+class _LRU(Generic[_K, _V]):
     """A tiny bounded mapping for memoized intermediates (thread-safe)."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._data: OrderedDict = OrderedDict()
+        self._data: OrderedDict[_K, _V] = OrderedDict()
 
-    def get(self, key):
+    def get(self, key: _K) -> _V | None:
         with self._lock:
             value = self._data.get(key)
             if value is not None:
                 self._data.move_to_end(key)
             return value
 
-    def put(self, key, value):
+    def put(self, key: _K, value: _V) -> None:
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
@@ -139,16 +143,20 @@ class AssessmentEngine:
         metrics: ServiceMetrics | None = None,
         max_profiles: int = 16,
         max_spaces: int = 8,
-    ):
+    ) -> None:
         self.cache = AssessmentCache() if cache is None else cache
         self.metrics = ServiceMetrics() if metrics is None else metrics
-        self._profiles = _LRU(max_profiles)
-        self._spaces = _LRU(max_spaces)
+        self._profiles: _LRU[str, tuple[dict[Any, float], FrequencyGroups]] = _LRU(
+            max_profiles
+        )
+        self._spaces: _LRU[tuple[str, float], FrequencyMappingSpace] = _LRU(max_spaces)
         # id() -> (profile, fingerprint).  Holding the profile keeps its
         # id() valid for as long as the entry lives, so re-assessing the
         # same object (sweeps, repeated server hits) skips the content
         # hash entirely.
-        self._fingerprints = _LRU(max_profiles * 2)
+        self._fingerprints: _LRU[int, tuple[FrequencyProfile, str]] = _LRU(
+            max_profiles * 2
+        )
 
     # -- single requests --------------------------------------------------
 
@@ -342,7 +350,7 @@ class AssessmentEngine:
         fingerprint: str,
         retries: int,
         backoff_seconds: float,
-        attempts: list | None = None,
+        attempts: list[str] | None = None,
     ) -> RiskAssessment:
         """Run :meth:`_compute`, retrying transient failures with backoff.
 
@@ -404,7 +412,9 @@ class AssessmentEngine:
         self._fingerprints.put(key, (profile, fingerprint))
         return fingerprint
 
-    def _profile_state(self, profile: FrequencyProfile) -> tuple[str, dict, FrequencyGroups]:
+    def _profile_state(
+        self, profile: FrequencyProfile
+    ) -> tuple[str, dict[Any, float], FrequencyGroups]:
         key = self._profile_fp(profile)
         state = self._profiles.get(key)
         if state is None:
@@ -414,7 +424,9 @@ class AssessmentEngine:
             self._profiles.put(key, state)
         return key, state[0], state[1]
 
-    def _space_state(self, profile_key: str, frequencies: dict, delta: float):
+    def _space_state(
+        self, profile_key: str, frequencies: dict[Any, float], delta: float
+    ) -> FrequencyMappingSpace:
         key = (profile_key, delta)
         space = self._spaces.get(key)
         if space is None:

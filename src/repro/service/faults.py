@@ -49,9 +49,9 @@ import fnmatch
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Any, Iterator, Union
 
 from repro.errors import FormatError, RecipeError, ReproError
 
@@ -129,7 +129,7 @@ class FaultRule:
     exception: str = "OSError"
     message: str = "injected fault"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.action not in ACTIONS:
             raise ReproError(
                 f"unknown fault action {self.action!r}; expected one of {ACTIONS}"
@@ -152,7 +152,7 @@ class FaultRule:
         return fnmatch.fnmatch(site, self.site)
 
     @classmethod
-    def from_json(cls, payload: dict) -> "FaultRule":
+    def from_json(cls, payload: dict[str, Any]) -> "FaultRule":
         if not isinstance(payload, dict) or "site" not in payload:
             raise FormatError(f"fault rule needs at least a 'site' key: {payload!r}")
         unknown = set(payload) - {
@@ -189,7 +189,7 @@ class FaultInjector:
     independently.
     """
 
-    def __init__(self, rules: list[FaultRule] | None = None):
+    def __init__(self, rules: list[FaultRule] | None = None) -> None:
         self.rules = list(rules or [])
         self._lock = threading.Lock()
         self._seen = [0] * len(self.rules)
@@ -271,7 +271,7 @@ def current() -> FaultInjector | None:
 
 
 @contextmanager
-def injected_faults(schedule):
+def injected_faults(schedule: "PathLike | dict[str, Any] | list[dict[str, Any]]") -> Iterator[FaultInjector]:
     """Install a schedule for the duration of a ``with`` block.
 
     *schedule* is a :class:`FaultInjector`, a list of
@@ -297,7 +297,7 @@ def fault_point(site: str) -> None:
         injector.fire(site)
 
 
-def load_schedule(source: "PathLike | dict") -> FaultInjector:
+def load_schedule(source: "PathLike | dict[str, Any] | list[dict[str, Any]]") -> FaultInjector:
     """Build an injector from ``{"rules": [...]}`` (a mapping or a JSON file)."""
     if isinstance(source, dict):
         payload = source

@@ -23,6 +23,7 @@ import hashlib
 import json
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.data.database import FrequencySource
 from repro.errors import RecipeError
@@ -49,9 +50,9 @@ class AssessmentParams:
     delta: float | None = None
     runs: int = 5
     seed: int = 0
-    interest: frozenset | None = field(default=None)
+    interest: frozenset[object] | None = field(default=None)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.tolerance <= 1.0:
             raise RecipeError(f"tolerance must be in [0, 1], got {self.tolerance}")
         if self.runs <= 0:
@@ -61,7 +62,7 @@ class AssessmentParams:
         if self.interest is not None and not self.interest:
             raise RecipeError("the interest subset must be non-empty")
 
-    def canonical(self) -> dict:
+    def canonical(self) -> dict[str, Any]:
         """A JSON-ready, order-independent representation."""
         return {
             "tolerance": float(self.tolerance),
@@ -73,12 +74,12 @@ class AssessmentParams:
             else sorted((_encode_item(item) for item in self.interest)),
         }
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         """Alias of :meth:`canonical` for transport (pool jobs, HTTP)."""
         return self.canonical()
 
     @classmethod
-    def from_json(cls, payload: dict) -> "AssessmentParams":
+    def from_json(cls, payload: dict[str, Any]) -> "AssessmentParams":
         """Rebuild params written by :meth:`to_json` (tagged interest)."""
         from repro.io import _decode_item
 
@@ -94,7 +95,7 @@ class AssessmentParams:
         )
 
 
-def _canonical_count_entries(source: FrequencySource) -> list:
+def _canonical_count_entries(source: FrequencySource) -> list[tuple[str, str, int]]:
     """``(kind, text, count)`` triples sorted by tagged item encoding.
 
     Sorting by the ``(kind, text)`` tag makes the result independent of
@@ -116,7 +117,7 @@ def _canonical_count_entries(source: FrequencySource) -> list:
     return entries
 
 
-def _digest(payload: dict) -> str:
+def _digest(payload: dict[str, Any]) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -164,7 +165,7 @@ def derived_seed(fingerprint: str) -> int:
     return int(fingerprint[:16], 16) & (2**63 - 1)
 
 
-def interest_from_raw(items: "Iterable | None") -> frozenset | None:
+def interest_from_raw(items: "Iterable[object] | None") -> frozenset[object] | None:
     """Normalize a raw iterable of items (e.g. parsed JSON) to a frozenset."""
     if items is None:
         return None

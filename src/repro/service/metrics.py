@@ -11,6 +11,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+from typing import Any, Iterator
 
 __all__ = ["ServiceMetrics"]
 
@@ -18,7 +19,7 @@ __all__ = ["ServiceMetrics"]
 class ServiceMetrics:
     """Named counters and gauges plus named (count, total seconds) timers."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
@@ -47,7 +48,7 @@ class ServiceMetrics:
             self._timer_totals[name] = self._timer_totals.get(name, 0.0) + seconds
 
     @contextmanager
-    def timer(self, name: str):
+    def timer(self, name: str) -> Iterator[None]:
         """Context manager timing its body with :func:`time.perf_counter`."""
         start = time.perf_counter()
         try:
@@ -60,7 +61,7 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """A JSON-ready view of every counter and timer."""
         with self._lock:
             timers = {

@@ -28,7 +28,10 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:
+    from repro.service.engine import AssessmentEngine, BatchResult
 
 from repro.data.database import FrequencyProfile
 from repro.errors import ReproError
@@ -45,7 +48,7 @@ __all__ = ["run_batch", "preferred_context"]
 
 #: Each pool worker reuses one engine (and its memoized intermediates)
 #: across all jobs it is handed.
-_WORKER_ENGINE = None
+_WORKER_ENGINE: "AssessmentEngine | None" = None
 
 
 def preferred_context() -> multiprocessing.context.BaseContext:
@@ -54,7 +57,11 @@ def preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def _worker_assess(payload: tuple) -> tuple:
+_JobPayload = tuple[int, str, dict[str, Any], dict[str, Any]]
+_JobOutcome = tuple[int, str, "dict[str, Any] | None", "str | None", float, bool]
+
+
+def _worker_assess(payload: _JobPayload) -> _JobOutcome:
     """Run one job inside a worker; never raises (except injected crashes).
 
     Returns ``(index, fingerprint, assessment_payload, error, elapsed,
@@ -109,7 +116,7 @@ def run_batch(
     retries: int = 2,
     backoff_seconds: float = 0.05,
     timeout_seconds: float | None = None,
-) -> list:
+) -> "list[BatchResult]":
     """Execute ``(index, profile, params, fingerprint)`` jobs in a pool.
 
     Returns :class:`~repro.service.engine.BatchResult` objects in job
@@ -140,7 +147,7 @@ def run_batch(
     with ProcessPoolExecutor(
         max_workers=min(workers, len(payloads)), mp_context=preferred_context()
     ) as executor:
-        pending: dict[Future, tuple[int, float | None]] = {}
+        pending: dict[Future[_JobOutcome], tuple[int, float | None]] = {}
 
         def submit(index: int) -> None:
             attempts[index] += 1
@@ -201,7 +208,7 @@ def run_batch(
                         elapsed,
                         retryable,
                     ) = future.result()
-                except BaseException as exc:
+                except BaseException as exc:  # repro-lint: disable=FS002 -- the crash already killed the worker process; converting it to a failed slot IS the containment
                     # The worker died mid-job (e.g. an injected crash):
                     # surface it as a failed slot, never a dead batch.
                     results[index] = BatchResult(

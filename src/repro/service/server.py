@@ -43,6 +43,7 @@ import signal
 import threading
 import time
 from contextlib import contextmanager
+from typing import Any, Iterator
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import repro
@@ -61,7 +62,9 @@ class AssessmentServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], engine: AssessmentEngine, quiet: bool = True):
+    def __init__(
+        self, address: tuple[str, int], engine: AssessmentEngine, quiet: bool = True
+    ) -> None:
         self.engine = engine
         self.quiet = quiet
         self._inflight = 0
@@ -69,7 +72,7 @@ class AssessmentServer(ThreadingHTTPServer):
         super().__init__(address, _AssessmentHandler)
 
     @contextmanager
-    def tracked_request(self):
+    def tracked_request(self) -> Iterator[None]:
         """Count a request as in-flight for graceful-shutdown draining."""
         with self._inflight_lock:
             self._inflight += 1
@@ -112,11 +115,11 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ---------------------------------------------------------
 
-    def log_message(self, format: str, *args) -> None:
+    def log_message(self, format: str, *args: object) -> None:
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         try:
             self.send_response(status)
@@ -134,7 +137,7 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
             {"error": {"type": error_type, "message": message}, "status": status},
         )
 
-    def _read_json_body(self) -> dict:
+    def _read_json_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
             raise ValueError("empty request body")
@@ -231,7 +234,7 @@ def run_until_signal(
     stop = threading.Event()
     previous: dict[int, object] = {}
 
-    def _handle_signal(signum, frame):
+    def _handle_signal(signum: int, frame: object) -> None:
         stop.set()
 
     if threading.current_thread() is threading.main_thread():

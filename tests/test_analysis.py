@@ -107,3 +107,293 @@ class TestDeltaSensitivity:
     def test_fraction_field(self, bigmart_frequencies):
         (point,) = delta_sensitivity(bigmart_frequencies, [0.05])
         assert point.fraction == pytest.approx(point.estimate / 6)
+
+
+# ---------------------------------------------------------------------------
+# repro-lint: the invariant analyzer
+# ---------------------------------------------------------------------------
+#
+# Fixtures are in-memory source strings fed to analyze_source (with the
+# module name that puts them in scope for each rule family), so this
+# test file itself never trips the linter's directory walk.
+
+from pathlib import Path
+
+from repro.analysis.lint import REGISTRY, analyze_source, lint_paths
+from repro.analysis.lint.cli import main as lint_main, result_to_json
+from repro.analysis.lint.engine import Project
+
+EXACT_MOD = "repro.graph.permanent"
+DET_MOD = "repro.service.fingerprint"
+
+
+def rules_hit(result):
+    return {violation.rule for violation in result.violations}
+
+
+class TestExactnessRules:
+    def test_float_literal_flagged(self):
+        result = analyze_source("x = 0.5\n", module=EXACT_MOD)
+        assert "EX001" in rules_hit(result)
+
+    def test_true_division_flagged(self):
+        result = analyze_source("def f(a, b):\n    return a / b\n", module=EXACT_MOD)
+        assert "EX002" in rules_hit(result)
+
+    def test_augmented_division_flagged(self):
+        result = analyze_source("def f(a, b):\n    a /= b\n    return a\n", module=EXACT_MOD)
+        assert "EX002" in rules_hit(result)
+
+    def test_inexact_math_flagged_allowlist_passes(self):
+        bad = analyze_source("import math\ny = math.sqrt(2)\n", module=EXACT_MOD)
+        assert "EX003" in rules_hit(bad)
+        good = analyze_source("import math\ny = math.comb(5, 2)\n", module=EXACT_MOD)
+        assert "EX003" not in rules_hit(good)
+
+    def test_numpy_float_and_cast_flagged(self):
+        source = "import numpy as np\na = np.zeros(3, dtype=np.float64)\nb = float(a.sum())\n"
+        hits = rules_hit(analyze_source(source, module=EXACT_MOD))
+        assert "EX004" in hits
+
+    def test_other_modules_exempt(self):
+        result = analyze_source("x = 0.5\ny = x / 2\n", module="repro.recipe.assess")
+        assert not rules_hit(result) & {"EX001", "EX002"}
+
+
+class TestDeterminismRules:
+    def test_unseeded_random_flagged(self):
+        result = analyze_source(
+            "import random\nx = random.random()\n", module=DET_MOD
+        )
+        assert "DT001" in rules_hit(result)
+
+    def test_unseeded_default_rng_flagged_seeded_passes(self):
+        bad = analyze_source(
+            "import numpy as np\nrng = np.random.default_rng()\n", module=DET_MOD
+        )
+        assert "DT001" in rules_hit(bad)
+        good = analyze_source(
+            "import numpy as np\nrng = np.random.default_rng(7)\n", module=DET_MOD
+        )
+        assert "DT001" not in rules_hit(good)
+
+    def test_wall_clock_flagged_perf_counter_passes(self):
+        bad = analyze_source("import time\nt = time.time()\n", module=DET_MOD)
+        assert "DT002" in rules_hit(bad)
+        good = analyze_source("import time\nt = time.perf_counter()\n", module=DET_MOD)
+        assert "DT002" not in rules_hit(good)
+
+    def test_urandom_flagged(self):
+        result = analyze_source("import os\nx = os.urandom(8)\n", module=DET_MOD)
+        assert "DT002" in rules_hit(result)
+
+    def test_set_iteration_flagged_sorted_passes(self):
+        bad = analyze_source(
+            "out = [i for i in {3, 1, 2}]\n", module=DET_MOD
+        )
+        assert "DT003" in rules_hit(bad)
+        good = analyze_source(
+            "out = [i for i in sorted({3, 1, 2})]\n", module=DET_MOD
+        )
+        assert "DT003" not in rules_hit(good)
+
+    def test_set_to_list_flagged(self):
+        bad = analyze_source(
+            "keys = list({'b', 'a'})\n", module=DET_MOD
+        )
+        assert "DT003" in rules_hit(bad)
+
+    def test_out_of_zone_module_exempt(self):
+        result = analyze_source(
+            "import time\nt = time.time()\n", module="repro.recipe.report"
+        )
+        assert "DT002" not in rules_hit(result)
+
+
+class TestFaultSafetyRules:
+    def test_bare_except_flagged(self):
+        source = "try:\n    pass\nexcept:\n    pass\n"
+        assert "FS001" in rules_hit(analyze_source(source, module="repro.core.alpha"))
+
+    def test_swallowed_base_exception_flagged(self):
+        source = "try:\n    pass\nexcept BaseException:\n    pass\n"
+        assert "FS002" in rules_hit(analyze_source(source, module="repro.core.alpha"))
+
+    def test_reraising_base_exception_passes(self):
+        source = (
+            "try:\n    pass\nexcept BaseException as exc:\n"
+            "    cleanup = True\n    raise\n"
+        )
+        assert "FS002" not in rules_hit(analyze_source(source, module="repro.core.alpha"))
+
+    def test_raising_different_exception_still_flagged(self):
+        source = (
+            "try:\n    pass\nexcept BaseException as exc:\n"
+            "    raise RuntimeError('swallowed')\n"
+        )
+        assert "FS002" in rules_hit(analyze_source(source, module="repro.core.alpha"))
+
+    def test_service_json_dump_flagged(self):
+        source = (
+            "import json\n"
+            "def save(payload, handle):\n    json.dump(payload, handle)\n"
+        )
+        assert "FS003" in rules_hit(
+            analyze_source(source, module="repro.service.cache")
+        )
+
+    def test_service_write_open_flagged_read_passes(self):
+        bad = "h = open('x.json', 'w')\n"
+        assert "FS003" in rules_hit(analyze_source(bad, module="repro.service.cache"))
+        good = "h = open('x.json')\n"
+        assert "FS003" not in rules_hit(analyze_source(good, module="repro.service.cache"))
+
+    def test_non_service_write_passes(self):
+        source = "h = open('x.json', 'w')\n"
+        assert "FS003" not in rules_hit(analyze_source(source, module="repro.io"))
+
+
+class TestLayeringRules:
+    def test_upward_module_level_import_flagged(self):
+        project = Project()
+        project.add_source(
+            "from repro.service.engine import AssessmentEngine\n",
+            path="src/repro/graph/fake.py",
+            module="repro.graph.fake",
+        )
+        result = project.run()
+        assert "LY001" in {v.rule for v in result.violations}
+
+    def test_lazy_upward_import_reported_as_ly002(self):
+        project = Project()
+        project.add_source(
+            "def f():\n    from repro.core.chain import chain_from_space\n",
+            path="src/repro/graph/fake.py",
+            module="repro.graph.fake",
+        )
+        result = project.run()
+        hits = {v.rule for v in result.violations}
+        assert "LY002" in hits and "LY001" not in hits
+
+    def test_downward_import_passes(self):
+        project = Project()
+        project.add_source(
+            "from repro.data.database import FrequencyProfile\n",
+            path="src/repro/graph/fake.py",
+            module="repro.graph.fake",
+        )
+        result = project.run()
+        assert not {v.rule for v in result.violations} & {"LY001", "LY002"}
+
+    def test_cycle_detected(self):
+        project = Project()
+        project.add_source(
+            "import repro.beliefs.order\n",
+            path="src/repro/mining/fake_a.py",
+            module="repro.mining.fake_a",
+        )
+        project.add_source(
+            "import repro.mining.fake_a\n",
+            path="src/repro/beliefs/fake_b.py",
+            module="repro.beliefs.order",
+        )
+        result = project.run()
+        assert "LY003" in {v.rule for v in result.violations}
+
+    def test_dot_output(self):
+        from repro.analysis.lint.rules_layering import layering_dot
+
+        project = Project()
+        project.add_source(
+            "from repro.data.database import FrequencyProfile\n",
+            path="src/repro/graph/fake.py",
+            module="repro.graph.fake",
+        )
+        dot = layering_dot(project.contexts)
+        assert dot.startswith("digraph layering {")
+        assert '"graph" -> "data"' in dot
+
+
+class TestSuppressions:
+    def test_line_suppression_with_justification(self):
+        source = "x = 0.5  # repro-lint: disable=EX001 -- documented boundary\n"
+        result = analyze_source(source, module=EXACT_MOD)
+        assert "EX001" not in rules_hit(result)
+        assert any(
+            s.violation.rule == "EX001" and s.justification == "documented boundary"
+            for s in result.suppressed
+        )
+
+    def test_next_line_suppression(self):
+        source = "# repro-lint: disable-next-line=EX001\nx = 0.5\n"
+        result = analyze_source(source, module=EXACT_MOD)
+        assert "EX001" not in rules_hit(result)
+
+    def test_file_suppression(self):
+        source = "# repro-lint: disable-file=EX001\nx = 0.5\ny = 1.5\n"
+        result = analyze_source(source, module=EXACT_MOD)
+        assert "EX001" not in rules_hit(result)
+        assert len(result.suppressed) == 2
+
+    def test_function_suppression_scoped_to_body(self):
+        source = (
+            "def f():  # repro-lint: disable-function=EX001\n"
+            "    return 0.5\n"
+            "x = 1.5\n"
+        )
+        result = analyze_source(source, module=EXACT_MOD)
+        lines = [v.line for v in result.violations if v.rule == "EX001"]
+        assert lines == [3]
+
+    def test_suppression_of_other_rule_does_not_mask(self):
+        source = "x = 0.5  # repro-lint: disable=EX002\n"
+        result = analyze_source(source, module=EXACT_MOD)
+        assert "EX001" in rules_hit(result)
+
+    def test_disable_all(self):
+        source = "x = 0.5  # repro-lint: disable=all\n"
+        result = analyze_source(source, module=EXACT_MOD)
+        assert not result.violations
+
+
+class TestAnalyzerCli:
+    def test_registry_has_all_families(self):
+        Project()  # force registration
+        families = {rule.family for rule in REGISTRY.values()}
+        assert families >= {"exactness", "determinism", "fault-safety", "layering"}
+
+    def test_shipped_tree_is_clean(self):
+        root = Path(__file__).resolve().parent.parent
+        result = lint_paths(
+            [root / "src", root / "benchmarks", root / "tests"]
+        )
+        assert result.clean, "\n".join(v.render() for v in result.violations)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert lint_main([str(dirty)]) == 1
+        assert lint_main([str(tmp_path / "missing.py")]) == 2
+        capsys.readouterr()
+
+    def test_json_report_schema_matches_snapshot(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "f.py"
+        target.write_text("x = 1\n")
+        assert lint_main(["--format", "json", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        root = Path(__file__).resolve().parent.parent
+        snapshot = json.loads((root / "BENCH_lint.json").read_text())
+        assert set(payload) == set(snapshot["report"])
+        assert snapshot["report"]["clean"] is True
+
+    def test_json_counts(self):
+        result = analyze_source("x = 0.5\ny = 1 / 2\n", module=EXACT_MOD)
+        payload = result_to_json(result)
+        assert payload["violation_counts"]["EX001"] == 1
+        assert payload["violation_counts"]["EX002"] == 1
+        assert payload["clean"] is False

@@ -1,6 +1,5 @@
 """Unit tests for anonymization mappings and database anonymization."""
 
-import numpy as np
 import pytest
 
 from repro.anonymize import AnonymizationMapping, anonymize

@@ -12,7 +12,6 @@ from repro.errors import GraphError, NotAChainError
 from repro.graph import (
     crack_marginals,
     expected_cracks_direct,
-    space_from_anonymized,
     space_from_frequencies,
 )
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.anonymize import AnonymizationMapping, anonymize
+from repro.anonymize import anonymize
 from repro.beliefs import ignorant_belief, point_belief, uniform_width_belief
 from repro.errors import DomainMismatchError, GraphError
 from repro.graph import (

@@ -1,6 +1,5 @@
 """Unit tests for synthetic generators and calibrated benchmarks."""
 
-import numpy as np
 import pytest
 
 from repro.data import FrequencyGroups, FrequencyProfile

@@ -1,12 +1,11 @@
 """Edge-case hardening: degenerate domains, boundary parameters, misuse."""
 
-import numpy as np
 import pytest
 
 from repro.beliefs import ignorant_belief, point_belief, uniform_width_belief
 from repro.core import alpha_max, o_estimate
 from repro.data import FrequencyProfile, TransactionDatabase
-from repro.errors import GraphError, RecipeError
+from repro.errors import RecipeError
 from repro.graph import (
     crack_distribution,
     expected_cracks_direct,

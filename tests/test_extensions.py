@@ -1,9 +1,8 @@
 """Unit tests for the Section 8 extensions."""
 
-import numpy as np
 import pytest
 
-from repro.beliefs import point_belief, uniform_width_belief
+from repro.beliefs import point_belief
 from repro.core import o_estimate
 from repro.errors import DomainMismatchError, GraphError
 from repro.extensions import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data import FrequencyGroups, TransactionDatabase, frequency_table
+from repro.data import FrequencyGroups, frequency_table
 from repro.data.frequency import GapStatistics
 from repro.errors import DataError
 

@@ -1,6 +1,5 @@
 """Unit tests for observed-group and belief-group structures."""
 
-import pytest
 
 from repro.graph.groups import BeliefGroupPartition, ObservedGroups
 

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.anonymize import anonymize
-from repro.beliefs import from_sample_belief, point_belief, uniform_width_belief
+from repro.beliefs import from_sample_belief, uniform_width_belief
 from repro.core import alpha_max, o_estimate
-from repro.data import FrequencyGroups, TransactionDatabase, read_fimi, sample_transactions, write_fimi
+from repro.data import FrequencyGroups, read_fimi, sample_transactions, write_fimi
 from repro.datasets import load_benchmark, random_database
 from repro.graph import space_from_anonymized, space_from_frequencies
 from repro.mining import apriori

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.beliefs import interval_belief, point_belief, uniform_width_belief
+from repro.beliefs import interval_belief, point_belief
 from repro.data import FrequencyProfile
 from repro.errors import FormatError
 from repro.io import (

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.beliefs import ignorant_belief, point_belief, uniform_width_belief
+from repro.beliefs import point_belief, uniform_width_belief
 from repro.errors import InfeasibleMatchingError
 from repro.graph import (
     ExplicitMappingSpace,

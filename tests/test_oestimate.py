@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.beliefs import (
     ignorant_belief,
-    interval_belief,
     point_belief,
     uniform_width_belief,
 )

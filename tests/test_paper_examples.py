@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.anonymize import anonymize
-from repro.beliefs import ignorant_belief, interval_belief, point_belief
+from repro.beliefs import ignorant_belief, point_belief
 from repro.core import (
     ChainSpec,
     chain_expected_cracks,

@@ -1,9 +1,8 @@
 """Unit tests for powerset (pairwise) belief refinement (Section 8.2)."""
 
-import numpy as np
 import pytest
 
-from repro.anonymize import AnonymizationMapping, anonymize
+from repro.anonymize import anonymize
 from repro.beliefs import ignorant_belief, point_belief, uniform_width_belief
 from repro.core import o_estimate
 from repro.data import TransactionDatabase

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.beliefs import point_belief, uniform_width_belief
+from repro.beliefs import point_belief
 from repro.errors import GraphError
 from repro.graph import ExplicitMappingSpace, propagate_degree_one, space_from_frequencies
 

@@ -19,7 +19,6 @@ from repro.beliefs import (
     uniform_width_belief,
 )
 from repro.core import o_estimate
-from repro.data import TransactionDatabase
 from repro.datasets import random_database
 from repro.graph import (
     ExplicitMappingSpace,

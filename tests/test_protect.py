@@ -1,6 +1,5 @@
 """Unit tests for the protection countermeasures."""
 
-import numpy as np
 import pytest
 
 from repro.beliefs import uniform_width_belief

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import FrequencyProfile, TransactionDatabase
+from repro.data import FrequencyProfile
 from repro.errors import RecipeError
 from repro.recipe import similarity_by_sampling
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.beliefs import ignorant_belief, point_belief, uniform_width_belief
+from repro.beliefs import ignorant_belief, point_belief
 from repro.core import ChainSpec, chain_expected_cracks, space_from_chain
 from repro.errors import SimulationError
 from repro.graph import expected_cracks_direct, space_from_frequencies
