@@ -94,6 +94,7 @@ DETERMINISM_MODULES = frozenset(
 #: layer; same-layer packages are independent siblings.
 LAYERS: dict[str, int] = {
     "errors": 0,
+    "budget": 1,
     "data": 1,
     "mining": 2,
     "anonymize": 2,

@@ -1,0 +1,215 @@
+"""Cooperative compute budgets for anytime assessment.
+
+Long-running compute paths (Gibbs sweeps, Ryser loops, interval DP)
+periodically call :meth:`ComputeBudget.checkpoint`, a cheap counter
+bump that only occasionally performs the real deadline/cancellation
+check.  When the budget is exhausted the checkpoint raises
+:class:`~repro.errors.BudgetExceeded`; callers that have a usable
+intermediate result attach a :class:`PartialEstimate` so the caller one
+level up can degrade gracefully instead of failing.
+
+This module sits low in the layer graph (alongside ``repro.data``) so
+that simulation and graph code can depend on it without importing the
+service layer; :mod:`repro.service.budget` re-exports everything here
+and adds the service-side conveniences (request factories wired to the
+fault injector).
+
+Design notes
+------------
+
+* Deadlines use an injectable monotonic ``clock`` so tests can drive
+  exhaustion deterministically without sleeping.
+* ``checkpoint(weight)`` is the hot-path call: it only runs the full
+  check every ``poll_every`` accumulated units of work, keeping the
+  overhead of budget polling to a couple of integer ops per loop
+  iteration.  ``poll()`` forces the full check (used at stage
+  boundaries).
+* Sweep quotas (``max_sweeps``) are checked only at sweep boundaries
+  via :meth:`sweep_tick`, which is what makes checkpoint/resume
+  bit-identical: a quota interruption never leaves a sweep half done.
+* The optional ``fault_hook`` fires with site ``"budget.poll"`` on
+  every *full* check, giving the deterministic fault injector a handle
+  on the polling path (e.g. a ``delay`` rule burns wall-clock so the
+  next poll observes an expired deadline).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import BudgetExceeded, FormatError
+
+__all__ = ["ComputeBudget", "PartialEstimate", "BudgetExceeded"]
+
+
+@dataclass(frozen=True)
+class PartialEstimate:
+    """The best estimate available when a budget ran out.
+
+    Attributes
+    ----------
+    value:
+        The point estimate accumulated so far (e.g. mean of collected
+        MCMC samples).
+    std_error:
+        Standard error of *value*; always finite (``0.0`` when fewer
+        than two samples were collected, so the uncertainty is simply
+        unquantified rather than infinite).
+    sweeps_completed:
+        How many full sweeps/samples contributed to *value*.
+    rung:
+        The ladder rung that produced the estimate (``"exact"``,
+        ``"chain"``, ``"mcmc-gibbs"``, ``"mcmc-swap"``).
+    reason:
+        Why the budget ran out (``"deadline"``, ``"sweeps"``,
+        ``"cancelled"``).
+    """
+
+    value: float
+    std_error: float
+    sweeps_completed: int
+    rung: str
+    reason: str = "deadline"
+
+    def __post_init__(self) -> None:
+        if not (self.std_error == self.std_error and abs(self.std_error) != float("inf")):
+            raise FormatError(
+                f"PartialEstimate.std_error must be finite, got {self.std_error!r}"
+            )
+        if self.sweeps_completed < 0:
+            raise FormatError(
+                f"PartialEstimate.sweeps_completed must be >= 0, got {self.sweeps_completed}"
+            )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": "partial_estimate",
+            "value": float(self.value),
+            "std_error": float(self.std_error),
+            "sweeps_completed": int(self.sweeps_completed),
+            "rung": self.rung,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "PartialEstimate":
+        if not isinstance(payload, Mapping) or payload.get("type") != "partial_estimate":
+            raise FormatError(f"not a partial_estimate payload: {payload!r}")
+        try:
+            return cls(
+                value=float(payload["value"]),
+                std_error=float(payload["std_error"]),
+                sweeps_completed=int(payload["sweeps_completed"]),
+                rung=str(payload["rung"]),
+                reason=str(payload.get("reason", "deadline")),
+            )
+        except KeyError as exc:
+            raise FormatError(f"partial_estimate payload missing key {exc}") from exc
+
+
+class ComputeBudget:
+    """A wall-clock deadline + sweep quota + cancellation token.
+
+    Parameters
+    ----------
+    seconds:
+        Wall-clock budget; ``None`` means no deadline.  The countdown
+        starts at construction time.
+    max_sweeps:
+        Quota on full sweeps (checked by :meth:`sweep_tick` only at
+        sweep boundaries); ``None`` means unlimited.
+    poll_every:
+        How many units of work :meth:`checkpoint` accumulates between
+        full deadline checks.  Smaller values react faster; larger
+        values poll cheaper.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    fault_hook:
+        Optional callable fired with ``"budget.poll"`` on every full
+        check (the service layer wires this to its fault injector).
+    """
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        max_sweeps: Optional[int] = None,
+        poll_every: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+        fault_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            raise FormatError(f"budget seconds must be > 0, got {seconds}")
+        if max_sweeps is not None and max_sweeps < 1:
+            raise FormatError(f"budget max_sweeps must be >= 1, got {max_sweeps}")
+        if poll_every < 1:
+            raise FormatError(f"budget poll_every must be >= 1, got {poll_every}")
+        self._clock = clock
+        self._deadline: Optional[float] = (
+            None if seconds is None else clock() + seconds
+        )
+        self.max_sweeps = max_sweeps
+        self.poll_every = poll_every
+        self._fault_hook = fault_hook
+        self._cancelled = threading.Event()
+        self._pending = 0
+        self._sweeps = 0
+        self.polls = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def sweeps_completed(self) -> int:
+        """How many sweeps :meth:`sweep_tick` has recorded."""
+        return self._sweeps
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (thread-safe)."""
+        self._cancelled.set()
+
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline, or ``None`` when unbounded."""
+        if self._deadline is None:
+            return None
+        return self._deadline - self._clock()
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed (never True when unbounded)."""
+        remaining = self.remaining_seconds()
+        return remaining is not None and remaining <= 0
+
+    # -- polling ----------------------------------------------------------
+
+    def checkpoint(self, weight: int = 1) -> None:
+        """Cheap hot-loop poll: full check every ``poll_every`` units."""
+        self._pending += weight
+        if self._pending >= self.poll_every:
+            self._pending = 0
+            self.poll()
+
+    def poll(self) -> None:
+        """Full check: raises :class:`BudgetExceeded` when out of budget."""
+        self.polls += 1
+        if self._fault_hook is not None:
+            self._fault_hook("budget.poll")
+        if self._cancelled.is_set():
+            raise BudgetExceeded("computation cancelled", reason="cancelled")
+        if self.expired():
+            raise BudgetExceeded("wall-clock deadline exceeded", reason="deadline")
+
+    def sweep_tick(self, n: int = 1) -> None:
+        """Record *n* completed sweeps and enforce the sweep quota.
+
+        Called only at sweep boundaries, so a quota interruption always
+        leaves the sampler in a resumable, bit-identical state.
+        """
+        self._sweeps += n
+        if self.max_sweeps is not None and self._sweeps >= self.max_sweeps:
+            raise BudgetExceeded(
+                f"sweep quota of {self.max_sweeps} exhausted", reason="sweeps"
+            )

@@ -279,6 +279,19 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="inject faults from a JSON schedule ({\"rules\": [...]}, see "
         "docs/service.md) — for failure-semantics testing",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="write one atomic per-job result file under DIR as jobs "
+        "finish, so an interrupted batch can be resumed",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: skip jobs whose result file already "
+        "exists in DIR (their records are emitted with \"resumed\": true)",
+    )
     return parser
 
 
@@ -332,14 +345,53 @@ def _manifest_jobs(manifest: dict) -> list:
     return jobs
 
 
+def _result_record(name: str, result) -> dict:
+    """The JSON-lines record for one finished (ok or failed) pool job."""
+    record = {
+        "name": name,
+        "fingerprint": result.fingerprint,
+        "cached": result.cached,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    if result.ok:
+        record["assessment"] = assessment_to_json(result.assessment)
+    else:
+        record["error"] = result.error
+    return record
+
+
+def _load_resumed_record(path, fingerprint: str) -> dict | None:
+    """A previously checkpointed record, or ``None`` when it is unusable.
+
+    A torn, corrupt or mismatched checkpoint file silently falls back to
+    recomputation — resuming must never be less safe than starting over.
+    """
+    try:
+        record = load_json(path)
+    except (FormatError, OSError):
+        return None
+    if (
+        not isinstance(record, dict)
+        or record.get("fingerprint") != fingerprint
+        or "assessment" not in record
+    ):
+        return None
+    return record
+
+
 def batch_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-batch``; returns a process exit code."""
     from contextlib import nullcontext
+    from pathlib import Path
 
     from repro.service import AssessmentCache, AssessmentEngine
-    from repro.service.faults import injected_faults, load_schedule
+    from repro.service.faults import fault_point, injected_faults, load_schedule
+    from repro.service.fingerprint import request_fingerprint
 
     args = build_batch_parser().parse_args(argv)
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 1
     try:
         schedule = None if args.faults is None else load_schedule(args.faults)
         jobs = _manifest_jobs(load_json(args.manifest))
@@ -353,12 +405,61 @@ def batch_main(argv: Sequence[str] | None = None) -> int:
             for position, (_, profile, params, error) in enumerate(jobs)
             if error is None
         ]
+
+        checkpoint_dir = None if args.checkpoint is None else Path(args.checkpoint)
+        fingerprints: dict[int, str] = {}
+        resumed: dict[int, dict] = {}
+        if checkpoint_dir is not None:
+            checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            for position, profile, params in runnable:
+                fingerprints[position] = request_fingerprint(profile, params)
+            if args.resume:
+                for position, fingerprint in fingerprints.items():
+                    record = _load_resumed_record(
+                        checkpoint_dir / f"{fingerprint}.json", fingerprint
+                    )
+                    if record is not None:
+                        resumed[position] = record
+        pending = [job for job in runnable if job[0] not in resumed]
+
+        by_position: dict[int, object] = {}
         with injected_faults(schedule) if schedule is not None else nullcontext():
-            results = engine.assess_many(
-                [(profile, params) for _, profile, params in runnable],
-                workers=args.workers,
-                retries=args.retries,
-                timeout_seconds=args.timeout,
+            if checkpoint_dir is None:
+                results = engine.assess_many(
+                    [(profile, params) for _, profile, params in pending],
+                    workers=args.workers,
+                    retries=args.retries,
+                    timeout_seconds=args.timeout,
+                )
+                for (position, _, _), result in zip(pending, results):
+                    by_position[position] = result
+            else:
+                # Chunked execution: each finished chunk is durably
+                # checkpointed before the next starts, so an interrupt
+                # loses at most one chunk of work.
+                chunk = max(args.workers, 1)
+                for start in range(0, len(pending), chunk):
+                    batch = pending[start : start + chunk]
+                    results = engine.assess_many(
+                        [(profile, params) for _, profile, params in batch],
+                        workers=args.workers,
+                        retries=args.retries,
+                        timeout_seconds=args.timeout,
+                    )
+                    for (position, _, _), result in zip(batch, results):
+                        by_position[position] = result
+                        if result.ok:
+                            name = jobs[position][0]
+                            fault_point("checkpoint.write")
+                            save_json_atomic(
+                                _result_record(name, result),
+                                checkpoint_dir
+                                / f"{fingerprints[position]}.json",
+                            )
+        if resumed:
+            print(
+                f"resumed {len(resumed)} job(s) from {checkpoint_dir}",
+                file=sys.stderr,
             )
         if schedule is not None:
             print(
@@ -370,33 +471,21 @@ def batch_main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
-    by_position = {
-        position: result
-        for (position, _, _), result in zip(runnable, results)
-    }
     lines = []
     failures = 0
     for position, (name, _, _, load_error) in enumerate(jobs):
-        record = {"name": name}
-        result = by_position.get(position)
         if load_error is not None:
-            record["error"] = load_error
+            record = {"name": name, "error": load_error}
             failures += 1
-        elif result.ok:
-            record.update(
-                fingerprint=result.fingerprint,
-                cached=result.cached,
-                elapsed_seconds=result.elapsed_seconds,
-                assessment=assessment_to_json(result.assessment),
-            )
+        elif position in resumed:
+            record = dict(resumed[position])
+            record["name"] = name
+            record["resumed"] = True
         else:
-            record.update(
-                fingerprint=result.fingerprint,
-                cached=result.cached,
-                elapsed_seconds=result.elapsed_seconds,
-                error=result.error,
-            )
-            failures += 1
+            result = by_position.get(position)
+            record = _result_record(name, result)
+            if not result.ok:
+                failures += 1
         lines.append(json.dumps(record, sort_keys=True))
 
     text = "\n".join(lines) + "\n"
@@ -448,6 +537,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown drain window for in-flight requests "
         "on SIGTERM/SIGINT (default 5.0)",
     )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="concurrent assessments admitted to compute (default 8)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="assessments allowed to wait for an admission slot before "
+        "requests are shed with HTTP 429 (default 32)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="inject faults from a JSON schedule ({\"rules\": [...]}, see "
+        "docs/service.md) — for robustness testing only",
+    )
     return parser
 
 
@@ -457,16 +566,25 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     Runs until ``SIGTERM`` or ``SIGINT``, then stops accepting, drains
     in-flight requests for up to ``--grace`` seconds, and exits 0.
     """
+    from contextlib import nullcontext
+
     from repro.service import AssessmentCache, AssessmentEngine, make_server
+    from repro.service.faults import injected_faults, load_schedule
     from repro.service.server import run_until_signal
 
     args = build_serve_parser().parse_args(argv)
     try:
+        schedule = None if args.faults is None else load_schedule(args.faults)
         engine = AssessmentEngine(
             cache=AssessmentCache(capacity=args.capacity, directory=args.cache_dir)
         )
         server = make_server(
-            host=args.host, port=args.port, engine=engine, quiet=not args.verbose
+            host=args.host,
+            port=args.port,
+            engine=engine,
+            quiet=not args.verbose,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
         )
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -476,7 +594,13 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         f"repro-serve {package_version()} listening on http://{host}:{port}",
         flush=True,
     )
-    run_until_signal(server, grace_seconds=args.grace)
+    with injected_faults(schedule) if schedule is not None else nullcontext():
+        run_until_signal(server, grace_seconds=args.grace)
+    if schedule is not None:
+        print(
+            f"fault injection: {len(schedule.events)} event(s) fired",
+            file=sys.stderr,
+        )
     print("shutting down")
     return 0
 

@@ -21,6 +21,7 @@ __all__ = [
     "NotAChainError",
     "SimulationError",
     "RecipeError",
+    "BudgetExceeded",
 ]
 
 
@@ -74,3 +75,21 @@ class SimulationError(ReproError):
 
 class RecipeError(ReproError):
     """The Assess-Risk recipe was invoked with invalid inputs."""
+
+
+class BudgetExceeded(ReproError):
+    """A compute budget (deadline, sweep quota, or cancellation) ran out.
+
+    Carries the best *partial* estimate computed before exhaustion (a
+    :class:`repro.budget.PartialEstimate`, or ``None`` when nothing was
+    ready) so anytime callers can degrade instead of failing outright.
+
+    Subclasses :class:`ReproError` deliberately: budget exhaustion is
+    deterministic for a given schedule, so the service layer's retry
+    logic must never retry it.
+    """
+
+    def __init__(self, message: str, partial: object | None = None, reason: str = "deadline") -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.reason = reason

@@ -141,9 +141,9 @@ class _UnionFind:
     def find(self, x: int) -> int:
         parent = self.parent
         root = x
-        while parent[root] != root:
+        while parent[root] != root:  # repro-lint: disable=FS004 -- path walk bounded by forest depth <= n
             root = parent[root]
-        while parent[x] != root:
+        while parent[x] != root:  # repro-lint: disable=FS004 -- path compression retraces the same <= n steps
             parent[x], x = root, parent[x]
         return root
 

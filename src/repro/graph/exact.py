@@ -221,10 +221,14 @@ def _block_adjacency(space: MappingSpace, block: Block) -> np.ndarray:
     return matrix
 
 
-def _ryser_count(space: MappingSpace, block: Block, limit: int) -> int:
+def _ryser_count(
+    space: MappingSpace, block: Block, limit: int, budget: DPBudget = DEFAULT_BUDGET
+) -> int:
     from repro.graph.permanent import permanent
 
-    return int(permanent(_block_adjacency(space, block), limit=limit))
+    return int(
+        permanent(_block_adjacency(space, block), limit=limit, budget=budget.compute)
+    )
 
 
 def _frequency_block_count(
@@ -261,7 +265,7 @@ def count_matchings_exact(
             _, matchings = _frequency_block_count(space, block, budget)
         else:
             _require_ryser_block(block, limit)
-            matchings = _ryser_count(space, block, limit)
+            matchings = _ryser_count(space, block, limit, budget=budget)
         if matchings == 0:
             return 0
         total *= matchings
@@ -313,12 +317,13 @@ def _explicit_block_marginals(
     block: Block,
     marginals: np.ndarray,
     limit: int,
+    budget: DPBudget = DEFAULT_BUDGET,
 ) -> None:
     from repro.graph.permanent import permanent
 
     _require_ryser_block(block, limit)
     matrix = _block_adjacency(space, block)
-    total = permanent(matrix, limit=limit)
+    total = permanent(matrix, limit=limit, budget=budget.compute)
     if total == 0:
         raise InfeasibleMatchingError("no consistent perfect matching exists")
     anon_local = {j: r for r, j in enumerate(block.anon_indices)}
@@ -328,7 +333,7 @@ def _explicit_block_marginals(
         if row is None or matrix[row, c] == 0:
             continue
         minor = np.delete(np.delete(matrix, row, axis=0), c, axis=1)
-        marginals[i] = permanent(minor, limit=limit) / total  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
+        marginals[i] = permanent(minor, limit=limit, budget=budget.compute) / total  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
 
 
 def crack_marginals_exact(
@@ -351,7 +356,7 @@ def crack_marginals_exact(
         if isinstance(space, FrequencyMappingSpace):
             _frequency_block_marginals(space, block, marginals, budget)
         else:
-            _explicit_block_marginals(space, block, marginals, limit)
+            _explicit_block_marginals(space, block, marginals, limit, budget=budget)
     return marginals
 
 
@@ -369,8 +374,11 @@ def expected_cracks_exact(
     return float(crack_marginals_exact(space, limit=limit, budget=budget).sum())  # repro-lint: disable=EX004 -- public float API edge
 
 
-def _enumerate_block_law(space: MappingSpace, block: Block) -> np.ndarray:
+def _enumerate_block_law(
+    space: MappingSpace, block: Block, budget: DPBudget = DEFAULT_BUDGET
+) -> np.ndarray:
     """Crack law of a small explicit block, by backtracking enumeration."""
+    compute = budget.compute
     anon_local = {j: r for r, j in enumerate(block.anon_indices)}
     n_local = block.n
     candidates = []
@@ -390,6 +398,8 @@ def _enumerate_block_law(space: MappingSpace, block: Block) -> np.ndarray:
         if depth == n_local:
             counts[cracks] += 1
             return
+        if compute is not None:
+            compute.checkpoint()
         c = order[depth]
         for r in candidates[c]:
             if not used[r]:
@@ -443,7 +453,7 @@ def crack_distribution_exact(
                 block_law = _frequency_block_law(space, block, budget)
             except GraphError:
                 if block.n <= (ENUMERATION_BLOCK_LIMIT if limit is None else limit):
-                    block_law = _enumerate_block_law(space, block)
+                    block_law = _enumerate_block_law(space, block, budget=budget)
                 else:
                     raise
         else:
@@ -453,7 +463,7 @@ def crack_distribution_exact(
                     f"(limit {ENUMERATION_BLOCK_LIMIT}); only frequency blocks "
                     "support the interval-DP crack law"
                 )
-            block_law = _enumerate_block_law(space, block)
+            block_law = _enumerate_block_law(space, block, budget=budget)
         law = np.convolve(law, block_law)
     result = np.zeros(space.n + 1, dtype=np.float64)  # repro-lint: disable=EX004 -- probability boundary: output law P(X=k)
     result[: len(law)] = law

@@ -38,6 +38,7 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.budget import ComputeBudget
 from repro.errors import GraphError
 
 __all__ = [
@@ -58,10 +59,22 @@ class DPBudget:
     ``max_states`` caps the number of simultaneous pending-profile states
     per group; ``max_ops`` caps the total number of state transitions.
     Either being exceeded raises :class:`~repro.errors.GraphError`.
+
+    ``compute`` optionally attaches a wall-clock
+    :class:`~repro.budget.ComputeBudget`, polled every ~2048 transitions,
+    so deadline-bearing callers can cancel a DP sweep cooperatively
+    (raising :class:`~repro.errors.BudgetExceeded` rather than
+    :class:`~repro.errors.GraphError`).
     """
 
     max_states: int = 50_000
     max_ops: int = 5_000_000
+    compute: ComputeBudget | None = None
+
+    def tick(self, ops: int) -> None:
+        """Poll the attached compute budget (cheap; call per transition)."""
+        if self.compute is not None and not (ops & 2047):
+            self.compute.checkpoint(2048)
 
 
 #: Default budget: generous enough for every realistic interval-belief
@@ -198,6 +211,7 @@ def assignment_count(
             available = [count for _, count in rest]
             for choice_ways, chosen in _compositions(available, need - forced):
                 ops += 1
+                budget.tick(ops)
                 if ops > budget.max_ops:
                     raise GraphError(
                         "interval-DP op budget exceeded "
@@ -334,6 +348,7 @@ def class_placement_totals(
             available = [count for _, count in rest]
             for choice_ways, chosen in _compositions(available, need - forced_total):
                 ops += 1
+                budget.tick(ops)
                 if ops > budget.max_ops:
                     raise GraphError(
                         "interval-DP op budget exceeded "
@@ -498,6 +513,7 @@ def crack_law(  # repro-lint: disable-function=EX001,EX002,EX004 -- probability 
             available = [count for _, count in rest]
             for choice_ways, chosen in _compositions(available, need - forced_total):
                 ops += 1
+                budget.tick(ops)
                 if ops > budget.max_ops:
                     raise GraphError(
                         "interval-DP op budget exceeded while building the "

@@ -25,6 +25,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.budget import ComputeBudget
 from repro.errors import GraphError, InfeasibleMatchingError
 from repro.graph.bipartite import MappingSpace
 
@@ -52,9 +53,9 @@ def _matrix_blocks(matrix: np.ndarray) -> list[tuple[list[int], list[int]]]:
 
     def find(x: int) -> int:
         root = x
-        while parent[root] != root:
+        while parent[root] != root:  # repro-lint: disable=FS004 -- path walk bounded by forest depth <= 2n
             root = parent[root]
-        while parent[x] != root:
+        while parent[x] != root:  # repro-lint: disable=FS004 -- path compression retraces the same <= 2n steps
             parent[x], x = root, parent[x]
         return root
 
@@ -80,7 +81,11 @@ def _is_integral(matrix: np.ndarray) -> bool:
     return bool(np.all(np.isfinite(matrix)) and np.all(matrix == np.rint(matrix)))
 
 
-def permanent(matrix: np.ndarray, limit: int | None = None) -> int | float:
+def permanent(
+    matrix: np.ndarray,
+    limit: int | None = None,
+    budget: ComputeBudget | None = None,
+) -> int | float:
     """The permanent of a square matrix, by Ryser's formula over blocks.
 
     Uses Gray-code subset iteration so each of the ``2^n - 1`` subsets
@@ -92,7 +97,9 @@ def permanent(matrix: np.ndarray, limit: int | None = None) -> int | float:
     ``limit`` (default 22) are split into connected blocks first — the
     permanent is the product of block permanents — and only a *block*
     beyond the limit is infeasible.  Pass ``limit`` to accept a higher
-    cost explicitly.
+    cost explicitly.  A *budget* (see :class:`repro.budget.ComputeBudget`)
+    is polled every 256 Ryser subsets, so deadline-bearing callers can
+    cancel a runaway permanent cooperatively.
     """
     matrix = np.asarray(matrix)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
@@ -100,7 +107,12 @@ def permanent(matrix: np.ndarray, limit: int | None = None) -> int | float:
     n = matrix.shape[0]
     cap = _PERMANENT_LIMIT if limit is None else int(limit)
     integral = _is_integral(matrix)
-    ryser = _ryser_int if integral else _ryser_float
+
+    def ryser(block: np.ndarray) -> int | float:
+        if integral:
+            return _ryser_int(block, budget=budget)
+        return _ryser_float(block, budget=budget)
+
     if n == 0:
         return 1 if integral else 1.0  # repro-lint: disable=EX001 -- weighted-path identity
     if n > cap:
@@ -132,7 +144,7 @@ def _ryser(matrix: np.ndarray) -> int | float:
     return _ryser_int(matrix) if _is_integral(matrix) else _ryser_float(matrix)
 
 
-def _ryser_int(matrix: np.ndarray) -> int:
+def _ryser_int(matrix: np.ndarray, budget: ComputeBudget | None = None) -> int:
     """Ryser's formula in exact Python-int arithmetic.
 
     perm(A) = (-1)^n * sum over non-empty column subsets S of
@@ -150,6 +162,8 @@ def _ryser_int(matrix: np.ndarray) -> int:
     subset = 0
     subset_size = 0
     for counter in range(1, 1 << n):
+        if budget is not None and not (counter & 255):
+            budget.checkpoint(256)
         flip = (counter & -counter).bit_length() - 1  # lowest set bit of counter
         bit = 1 << flip
         column = columns[flip]
@@ -172,7 +186,7 @@ def _ryser_int(matrix: np.ndarray) -> int:
     return total if n % 2 == 0 else -total
 
 
-def _ryser_float(matrix: np.ndarray) -> float:  # repro-lint: disable-function=EX001,EX004 -- weighted boundary: real-valued matrices have no exact-int representation
+def _ryser_float(matrix: np.ndarray, budget: ComputeBudget | None = None) -> float:  # repro-lint: disable-function=EX001,EX004 -- weighted boundary: real-valued matrices have no exact-int representation
     """Ryser's formula for genuinely weighted (non-integral) matrices.
 
     Vectorized float arithmetic; subject to cancellation in the
@@ -187,6 +201,8 @@ def _ryser_float(matrix: np.ndarray) -> float:  # repro-lint: disable-function=E
     subset = 0
     subset_size = 0
     for counter in range(1, 1 << n):
+        if budget is not None and not (counter & 255):
+            budget.checkpoint(256)
         flip = (counter & -counter).bit_length() - 1  # lowest set bit of counter
         bit = 1 << flip
         if subset & bit:

@@ -23,6 +23,7 @@ from typing import Callable, Union
 
 from repro.beliefs.function import BeliefFunction
 from repro.beliefs.interval import Interval
+from repro.budget import PartialEstimate
 from repro.core.oestimate import OEstimateResult
 from repro.data.database import FrequencyProfile
 from repro.errors import FormatError
@@ -48,7 +49,9 @@ PathLike = Union[str, Path]
 #: that caches (see :mod:`repro.service.cache`) never deserialize fields
 #: they do not understand.  Payloads with no version key are treated as
 #: version 1 (the pre-versioning format) and still load.
-SCHEMA_VERSION = 2
+#: Version 3 added the ``INCONCLUSIVE`` decision and the
+#: ``partial_estimate`` block (deadline-aware anytime assessment).
+SCHEMA_VERSION = 3
 
 
 def _check_schema(payload: dict) -> None:
@@ -165,6 +168,9 @@ def assessment_to_json(assessment: RiskAssessment) -> dict:
             "n_forced": estimate.n_forced,
             "propagated": estimate.propagated,
         },
+        "partial_estimate": None
+        if assessment.partial_estimate is None
+        else assessment.partial_estimate.to_json(),
     }
 
 
@@ -209,6 +215,9 @@ def assessment_from_json(payload: dict) -> RiskAssessment:
         if payload.get("exact_cracks") is None
         else float(payload["exact_cracks"]),
         exact_strategy=payload.get("exact_strategy"),
+        partial_estimate=None
+        if payload.get("partial_estimate") is None
+        else PartialEstimate.from_json(payload["partial_estimate"]),
     )
 
 

@@ -25,11 +25,12 @@ from typing import Iterable
 import numpy as np
 
 from repro.beliefs.builders import uniform_width_belief
+from repro.budget import ComputeBudget, PartialEstimate
 from repro.core.alpha import alpha_max as compute_alpha_max
 from repro.core.oestimate import OEstimateResult, o_estimate
 from repro.data.database import FrequencySource
 from repro.data.frequency import FrequencyGroups
-from repro.errors import GraphError, InfeasibleMatchingError, RecipeError
+from repro.errors import BudgetExceeded, GraphError, InfeasibleMatchingError, RecipeError
 from repro.graph.bipartite import FrequencyMappingSpace, space_from_frequencies
 
 __all__ = ["Decision", "RiskAssessment", "assess_risk"]
@@ -42,18 +43,35 @@ EXACT_COST_BUDGET = 5e7
 
 
 def _try_exact_interval(
-    space: FrequencyMappingSpace, interest: frozenset | None
+    space: FrequencyMappingSpace,
+    interest: frozenset | None,
+    budget: ComputeBudget | None = None,
 ) -> tuple[float | None, str | None]:
     """Exact interval-rung expected cracks, or (None, None) to fall back."""
     from repro.graph.exact import crack_marginals_exact, exact_strategy
+    from repro.graph.intervaldp import DEFAULT_BUDGET, DPBudget
 
     plan = exact_strategy(space)
     if not plan.matchable:
         return 0.0, plan.strategy
     if not plan.feasible or plan.cost_hint > EXACT_COST_BUDGET:
         return None, None
+    dp_budget = (
+        DEFAULT_BUDGET
+        if budget is None
+        else DPBudget(
+            max_states=DEFAULT_BUDGET.max_states,
+            max_ops=DEFAULT_BUDGET.max_ops,
+            compute=budget,
+        )
+    )
     try:
-        marginals = crack_marginals_exact(space)
+        marginals = crack_marginals_exact(space, budget=dp_budget)
+    except BudgetExceeded:
+        # Deadline hit inside the exact refinement: it is an optional
+        # enrichment of the interval rung, so degrade to the O-estimate
+        # alone rather than failing the whole assessment.
+        return None, None
     except (GraphError, InfeasibleMatchingError):
         return None, None
     if interest is None:
@@ -68,6 +86,7 @@ class Decision(enum.Enum):
     DISCLOSE_POINT_VALUED = "disclose: safe even against exact frequency knowledge"
     DISCLOSE_INTERVAL = "disclose: safe against ball-park (median-gap) frequency knowledge"
     ALPHA_BOUND = "judgement call: safe only below the reported alpha_max compliancy"
+    INCONCLUSIVE = "inconclusive: the compute budget ran out before a decision rung settled"
 
 
 @dataclass(frozen=True)
@@ -109,6 +128,10 @@ class RiskAssessment:
     exact_strategy:
         Which exact engine ran (``"interval-dp"``, ``"block-ryser"``,
         ...), ``None`` when exact was skipped.
+    partial_estimate:
+        When the compute budget ran out mid-recipe, the best bounded
+        estimate reached before exhaustion (with its standard error and
+        ladder rung); ``None`` for a complete assessment.
     """
 
     decision: Decision
@@ -122,11 +145,20 @@ class RiskAssessment:
     runs: int | None = None
     exact_cracks: float | None = None
     exact_strategy: str | None = None
+    partial_estimate: PartialEstimate | None = None
 
     @property
     def disclose(self) -> bool:
         """True when the recipe reached an unconditional disclose."""
-        return self.decision is not Decision.ALPHA_BOUND
+        return self.decision in (
+            Decision.DISCLOSE_POINT_VALUED,
+            Decision.DISCLOSE_INTERVAL,
+        )
+
+    @property
+    def partial(self) -> bool:
+        """True when the budget expired before the recipe could finish."""
+        return self.decision is Decision.INCONCLUSIVE
 
     def summary(self) -> str:
         """A human-readable account of the assessment."""
@@ -151,6 +183,12 @@ class RiskAssessment:
             )
         if self.alpha_max is not None:
             lines.append(f"alpha_max = {self.alpha_max:.3f}")
+        if self.partial_estimate is not None:
+            pe = self.partial_estimate
+            lines.append(
+                f"partial estimate = {pe.value:.2f} +/- {pe.std_error:.2f} "
+                f"(rung: {pe.rung}, budget: {pe.reason})"
+            )
         lines.append(f"decision: {self.decision.value}")
         return "\n".join(lines)
 
@@ -162,6 +200,7 @@ def assess_risk(
     runs: int = 5,
     rng: np.random.Generator | None = None,
     interest: "Iterable | None" = None,
+    budget: ComputeBudget | None = None,
 ) -> RiskAssessment:
     """Run the Assess-Risk recipe (Figure 8) on a database or profile.
 
@@ -184,6 +223,14 @@ def assess_risk(
         (Lemmas 2 and 4 — e.g. the frequent items or those with the
         highest margin).  Every stage then counts expected cracks among
         these items only, against a budget of ``tolerance * |I_1|``.
+    budget:
+        Optional :class:`~repro.budget.ComputeBudget` polled at every
+        stage boundary and threaded into the exact engine.  When it runs
+        out *after* a decision rung has produced a bounded estimate, the
+        recipe returns an ``INCONCLUSIVE`` assessment carrying a
+        :class:`~repro.budget.PartialEstimate` instead of raising; when
+        nothing is ready yet, :class:`~repro.errors.BudgetExceeded`
+        propagates with ``partial=None``.
     """
     if not 0.0 <= tolerance <= 1.0:
         raise RecipeError(f"tolerance must be in [0, 1], got {tolerance}")
@@ -215,6 +262,9 @@ def assess_risk(
         )
 
     # Steps 3-5: compliant interval belief with the median-gap width.
+    # Nothing is bounded yet, so exhaustion here propagates partial-less.
+    if budget is not None:
+        budget.poll()
     if delta is None:
         if g < 2:
             raise RecipeError(
@@ -229,7 +279,7 @@ def assess_risk(
     # expected cracks whenever it has a cheap plan (interval beliefs
     # usually do — see docs/exact.md), exposing the O-estimate's bias.
     estimate = o_estimate(space, interest=interest)
-    exact_cracks, exact_strategy_name = _try_exact_interval(space, interest)
+    exact_cracks, exact_strategy_name = _try_exact_interval(space, interest, budget)
     if estimate.value <= tolerance * basis:
         return RiskAssessment(
             decision=Decision.DISCLOSE_INTERVAL,
@@ -244,7 +294,34 @@ def assess_risk(
         )
 
     # Steps 8-9: search for the largest tolerable degree of compliancy.
-    alpha = compute_alpha_max(space, tolerance, runs=runs, rng=rng, interest=interest)
+    # The interval rung's O-estimate is a bounded answer, so exhaustion
+    # from here on degrades to an INCONCLUSIVE partial assessment.
+    try:
+        if budget is not None:
+            budget.poll()
+        alpha = compute_alpha_max(space, tolerance, runs=runs, rng=rng, interest=interest)
+    except BudgetExceeded as exc:
+        partial = exc.partial if isinstance(exc.partial, PartialEstimate) else (
+            PartialEstimate(
+                value=float(estimate.value),
+                std_error=0.0,
+                sweeps_completed=0,
+                rung="o-estimate",
+                reason=exc.reason,
+            )
+        )
+        return RiskAssessment(
+            decision=Decision.INCONCLUSIVE,
+            tolerance=tolerance,
+            n_items=n,
+            g=g,
+            delta=delta,
+            interval_estimate=estimate,
+            interest=interest,
+            exact_cracks=exact_cracks,
+            exact_strategy=exact_strategy_name,
+            partial_estimate=partial,
+        )
     return RiskAssessment(
         decision=Decision.ALPHA_BOUND,
         tolerance=tolerance,

@@ -13,13 +13,29 @@ parallel engine with an HTTP front end:
 * :mod:`repro.service.pool` — process-pool fan-out with per-job error
   capture and scheduling-independent results.
 * :mod:`repro.service.metrics` — counters, gauges and per-stage timers.
+* :mod:`repro.service.budget` — per-request compute budgets (deadline +
+  sweep quotas) wired to fault injection; see :mod:`repro.budget` for
+  the core mechanism.
+* :mod:`repro.service.breaker` — a failure-streak circuit breaker that
+  fast-fails requests while the compute path is known-broken.
+* :mod:`repro.service.admission` — bounded admission control (inflight
+  slots + waiting queue + load shedding) for the HTTP front end.
 * :mod:`repro.service.server` — a stdlib ``http.server`` JSON API
   (``POST /assess``, ``GET /healthz``, ``GET /metrics``) with
-  structured errors and graceful signal-driven shutdown.
+  structured errors, per-request deadlines and graceful signal-driven
+  shutdown.
 * :mod:`repro.service.faults` — deterministic fault injection (errors,
   crashes, latency) for testing the layer's failure semantics.
 """
 
+from repro.budget import BudgetExceeded, ComputeBudget, PartialEstimate
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionTimeout,
+    QueueFullError,
+)
+from repro.service.breaker import CircuitBreaker, CircuitOpenError
+from repro.service.budget import MAX_DEADLINE_SECONDS, request_budget
 from repro.service.cache import AssessmentCache
 from repro.service.engine import AssessmentEngine, AssessmentOutcome, BatchResult
 from repro.service.faults import (
@@ -46,17 +62,27 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionTimeout",
     "AssessmentCache",
     "AssessmentEngine",
     "AssessmentOutcome",
     "AssessmentParams",
     "AssessmentServer",
     "BatchResult",
+    "BudgetExceeded",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ComputeBudget",
     "FaultInjector",
     "FaultRule",
     "InjectedCrash",
+    "MAX_DEADLINE_SECONDS",
+    "PartialEstimate",
+    "QueueFullError",
     "ServiceMetrics",
     "derived_seed",
+    "request_budget",
     "fault_point",
     "injected_faults",
     "load_schedule",

@@ -1,0 +1,61 @@
+"""Service-side compute budgets: request deadlines wired to fault injection.
+
+The budget *mechanism* lives low in the layer graph
+(:mod:`repro.budget`) so simulation and graph code can poll it without
+importing the service layer.  This module is the service-facing facade:
+it re-exports the core types and builds per-request budgets whose slow
+polling path fires the ``budget.poll`` fault-injection site, making
+deadline behaviour deterministically testable (e.g. a ``delay`` rule at
+``budget.poll`` burns wall-clock so the next poll observes an expired
+deadline).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.budget import BudgetExceeded, ComputeBudget, PartialEstimate
+from repro.errors import ReproError
+from repro.service.faults import fault_point
+
+__all__ = [
+    "ComputeBudget",
+    "PartialEstimate",
+    "BudgetExceeded",
+    "request_budget",
+    "MAX_DEADLINE_SECONDS",
+]
+
+#: Upper bound on per-request deadlines; anything longer is a client
+#: error (the admission queue would otherwise hold slots hostage).
+MAX_DEADLINE_SECONDS = 3600.0
+
+
+def request_budget(
+    deadline_seconds: float,
+    max_sweeps: Optional[int] = None,
+    poll_every: int = 256,
+    clock: Callable[[], float] = time.monotonic,
+) -> ComputeBudget:
+    """A per-request budget whose polls hit the ``budget.poll`` fault site.
+
+    Raises :class:`~repro.errors.ReproError` for non-positive or absurd
+    deadlines, so the HTTP layer can map the problem to a structured 400.
+    """
+    if not deadline_seconds > 0:
+        raise ReproError(
+            f"deadline_seconds must be > 0, got {deadline_seconds}"
+        )
+    if deadline_seconds > MAX_DEADLINE_SECONDS:
+        raise ReproError(
+            f"deadline_seconds must be <= {MAX_DEADLINE_SECONDS}, "
+            f"got {deadline_seconds}"
+        )
+    return ComputeBudget(
+        seconds=deadline_seconds,
+        max_sweeps=max_sweeps,
+        poll_every=poll_every,
+        clock=clock,
+        fault_hook=fault_point,
+    )

@@ -34,13 +34,15 @@ from typing import Any, Generic, Iterable, Sequence, TypeVar
 import numpy as np
 
 from repro.beliefs.builders import uniform_width_belief
+from repro.budget import ComputeBudget, PartialEstimate
 from repro.core.alpha import alpha_max as compute_alpha_max
 from repro.core.oestimate import o_estimate
 from repro.data.database import FrequencyProfile, FrequencySource
 from repro.data.frequency import FrequencyGroups
-from repro.errors import RecipeError, ReproError
+from repro.errors import BudgetExceeded, RecipeError, ReproError
 from repro.graph.bipartite import FrequencyMappingSpace, space_from_frequencies
 from repro.recipe.assess import Decision, RiskAssessment, _try_exact_interval
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import AssessmentCache
 from repro.service.faults import fault_point
 from repro.service.fingerprint import (
@@ -135,6 +137,11 @@ class AssessmentEngine:
     max_profiles, max_spaces:
         Bounds on the memoized intermediates (frequency groups per
         profile; belief/space per ``(profile, delta)``).
+    breaker:
+        Circuit breaker guarding the serial compute path; defaults to a
+        fresh :class:`~repro.service.breaker.CircuitBreaker` sharing the
+        engine's metrics.  Pool workers are separate processes and are
+        deliberately outside the breaker.
     """
 
     def __init__(
@@ -143,9 +150,13 @@ class AssessmentEngine:
         metrics: ServiceMetrics | None = None,
         max_profiles: int = 16,
         max_spaces: int = 8,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.cache = AssessmentCache() if cache is None else cache
         self.metrics = ServiceMetrics() if metrics is None else metrics
+        self.breaker = (
+            CircuitBreaker(metrics=self.metrics) if breaker is None else breaker
+        )
         self._profiles: _LRU[str, tuple[dict[Any, float], FrequencyGroups]] = _LRU(
             max_profiles
         )
@@ -169,22 +180,37 @@ class AssessmentEngine:
         runs: int = 5,
         seed: int = 0,
         interest: Iterable | None = None,
+        budget: ComputeBudget | None = None,
     ) -> AssessmentOutcome:
         """Answer one question, through the cache."""
         params = AssessmentParams(
             tolerance=tolerance, delta=delta, runs=runs, seed=seed,
             interest=None if interest is None else frozenset(interest),
         )
-        return self.assess_request(source, params)
+        return self.assess_request(source, params, budget=budget)
 
     def assess_request(
-        self, source: FrequencySource, params: AssessmentParams
+        self,
+        source: FrequencySource,
+        params: AssessmentParams,
+        budget: ComputeBudget | None = None,
     ) -> AssessmentOutcome:
         """Answer one pre-packaged request, through the cache.
 
         Lookups are single-flight: concurrent requests for the same
         fingerprint (e.g. simultaneous HTTP hits) run one computation
         and share its result instead of racing.
+
+        *budget* attaches a per-request deadline (see
+        :mod:`repro.service.budget`).  Budgets are deliberately *not*
+        part of the fingerprint — the answer to a question does not
+        depend on how long the client was willing to wait — so a
+        deadline-bearing request still hits the shared cache; but a
+        *partial* (INCONCLUSIVE) result is never cached, because a
+        different deadline could have done better.  Deadline-bearing
+        misses skip the single-flight rendezvous: sharing another
+        request's computation would mean inheriting someone else's
+        deadline.
         """
         start = time.perf_counter()
         self.metrics.increment("requests")
@@ -196,10 +222,24 @@ class AssessmentEngine:
         def compute() -> RiskAssessment:
             self.metrics.increment("computed")
             with self.metrics.timer("assess"):
-                return self._compute(profile, params, fingerprint)
+                return self._compute(profile, params, fingerprint, budget=budget)
 
-        assessment, origin = self.cache.get_or_compute(fingerprint, compute)
-        cached = origin != "computed"
+        if budget is None:
+            assessment, origin = self.cache.get_or_compute(
+                fingerprint, lambda: self.breaker.call(compute)
+            )
+            cached = origin != "computed"
+        else:
+            hit = self.cache.get(fingerprint)
+            if hit is not None:
+                assessment, cached = hit, True
+            else:
+                assessment = self.breaker.call(compute)
+                cached = False
+                if not assessment.partial:
+                    self.cache.put(fingerprint, assessment)
+                else:
+                    self.metrics.increment("partial_results")
         if cached:
             self.metrics.increment("cache_hits")
         return AssessmentOutcome(
@@ -439,9 +479,15 @@ class AssessmentEngine:
     # -- the recipe, stage by stage ---------------------------------------
 
     def _compute(
-        self, profile: FrequencyProfile, params: AssessmentParams, fingerprint: str
+        self,
+        profile: FrequencyProfile,
+        params: AssessmentParams,
+        fingerprint: str,
+        budget: ComputeBudget | None = None,
     ) -> RiskAssessment:
         fault_point("engine.compute")
+        if budget is not None:
+            budget.poll()
         profile_key, frequencies, groups = self._profile_state(profile)
         n = len(frequencies)
         g = len(groups)
@@ -477,10 +523,14 @@ class AssessmentEngine:
 
         # Steps 6-7: the fully compliant O-estimate decides; the exact
         # engine additionally serves ground truth when its plan is cheap.
+        if budget is not None:
+            budget.poll()
         with self.metrics.timer("stage:oestimate"):
             estimate = o_estimate(space, interest=interest)
         with self.metrics.timer("stage:exact"):
-            exact_cracks, exact_strategy_name = _try_exact_interval(space, interest)
+            exact_cracks, exact_strategy_name = _try_exact_interval(
+                space, interest, budget
+            )
         if exact_strategy_name is not None:
             self.metrics.increment("exact_served")
             self.metrics.increment(f"exact:{exact_strategy_name}")
@@ -501,10 +551,38 @@ class AssessmentEngine:
 
         # Steps 8-9: largest tolerable degree of compliancy, with the
         # RNG pinned to the request fingerprint for reproducibility.
-        rng = np.random.default_rng(derived_seed(fingerprint))
-        with self.metrics.timer("stage:alpha"):
-            alpha = compute_alpha_max(
-                space, tolerance, runs=params.runs, rng=rng, interest=interest
+        # The interval rung's O-estimate is bounded, so budget exhaustion
+        # from here on degrades to an INCONCLUSIVE partial assessment
+        # instead of failing the request.
+        try:
+            if budget is not None:
+                budget.poll()
+            rng = np.random.default_rng(derived_seed(fingerprint))
+            with self.metrics.timer("stage:alpha"):
+                alpha = compute_alpha_max(
+                    space, tolerance, runs=params.runs, rng=rng, interest=interest
+                )
+        except BudgetExceeded as exc:
+            partial = exc.partial if isinstance(exc.partial, PartialEstimate) else (
+                PartialEstimate(
+                    value=float(estimate.value),
+                    std_error=0.0,
+                    sweeps_completed=0,
+                    rung="o-estimate",
+                    reason=exc.reason,
+                )
+            )
+            return RiskAssessment(
+                decision=Decision.INCONCLUSIVE,
+                tolerance=tolerance,
+                n_items=n,
+                g=g,
+                delta=delta,
+                interval_estimate=estimate,
+                interest=interest,
+                exact_cracks=exact_cracks,
+                exact_strategy=exact_strategy_name,
+                partial_estimate=partial,
             )
         return RiskAssessment(
             decision=Decision.ALPHA_BOUND,

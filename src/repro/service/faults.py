@@ -24,6 +24,14 @@ site                      fired
 ``cache.write.replace``   after the temp file is durable, before ``os.replace``
 ``engine.compute``        at the top of every (serial or worker) computation
 ``pool.job``              at the start of every pool-worker job
+``budget.poll``           every slow-path deadline check of a request
+                          :class:`~repro.budget.ComputeBudget` (a ``delay``
+                          rule here burns wall-clock deterministically, so
+                          the *next* poll observes an expired deadline)
+``checkpoint.write``      before each atomic batch-checkpoint write in
+                          ``repro-batch --checkpoint``
+``server.admission``      on every admission attempt at ``POST /assess``,
+                          before queueing/shedding decisions
 ========================  ====================================================
 
 A schedule is a list of :class:`FaultRule` objects.  Rules are matched

@@ -5,11 +5,18 @@ Endpoints
 
 ``POST /assess``
     Body: ``{"profile": <profile_to_json payload>, "tolerance": 0.05,
-    "delta": null, "runs": 5, "seed": 0, "interest": [3, 7, "milk"]}``
+    "delta": null, "runs": 5, "seed": 0, "interest": [3, 7, "milk"],
+    "deadline_seconds": 2.5}``
     (everything but ``profile`` and ``tolerance`` optional; *interest*
     items are raw JSON ints/strings matching the profile's items).
-    Response: ``{"fingerprint", "cached", "elapsed_seconds",
-    "assessment": <assessment_to_json payload>}``.
+    Response: ``{"fingerprint", "cached", "elapsed_seconds", "partial",
+    "assessment": <assessment_to_json payload>}``.  With
+    ``deadline_seconds`` set, the engine computes under a
+    :class:`~repro.budget.ComputeBudget`: an over-budget request still
+    answers 200 with ``"partial": true`` and an ``INCONCLUSIVE``
+    decision carrying the best estimate so far, or 503 with a
+    ``Retry-After`` header when the deadline expired before *anything*
+    was ready.
 
 ``GET /healthz``
     Liveness probe; reports the package version.
@@ -22,13 +29,21 @@ Every error response is structured the same way::
     {"error": {"type": "<exception class>", "message": "<detail>"},
      "status": <http status>}
 
-with ``400`` for malformed requests, ``422`` for requests the recipe
-rejects, ``404`` for unknown paths and ``500`` for unexpected internal
-failures (which are counted in the ``http_500`` metric, never returned
-as a raw traceback).
+with ``400`` for malformed requests (including truncated bodies and
+out-of-range ``runs`` / ``tolerance`` / ``seed`` / ``deadline_seconds``
+values), ``422`` for requests the recipe rejects, ``404`` for unknown
+paths, ``429`` (plus ``Retry-After``) when the admission queue sheds
+the request, ``503`` (plus ``Retry-After``) when the circuit breaker is
+open or a deadline expired with nothing to show, and ``500`` for
+unexpected internal failures (which are counted in the ``http_500``
+metric, never returned as a raw traceback).
 
 The server is a :class:`http.server.ThreadingHTTPServer`; the engine's
 cache and metrics are lock-guarded, so concurrent requests are safe.
+``POST /assess`` additionally passes through a bounded
+:class:`~repro.service.admission.AdmissionController` (``max_inflight``
+computations, ``max_queue`` waiters, 429 beyond that), so overload
+degrades by shedding instead of by piling up threads.
 Bind port 0 to get an ephemeral port (see ``server.server_port``).
 In-flight requests are tracked (the ``inflight_requests`` gauge), and
 :meth:`AssessmentServer.shutdown_gracefully` waits for them to drain —
@@ -47,12 +62,23 @@ from typing import Any, Iterator
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import repro
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, ReproError
 from repro.io import assessment_to_json, profile_from_json
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionTimeout,
+    QueueFullError,
+)
+from repro.service.breaker import CircuitOpenError
+from repro.service.budget import request_budget
 from repro.service.engine import AssessmentEngine
 from repro.service.fingerprint import AssessmentParams
 
 __all__ = ["AssessmentServer", "make_server", "serve", "run_until_signal"]
+
+#: Largest accepted ``seed`` (NumPy seeds the generator with unsigned
+#: 64-bit state; the fingerprint must match what the engine computes).
+_MAX_SEED = 2**64 - 1
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
@@ -63,10 +89,19 @@ class AssessmentServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(
-        self, address: tuple[str, int], engine: AssessmentEngine, quiet: bool = True
+        self,
+        address: tuple[str, int],
+        engine: AssessmentEngine,
+        quiet: bool = True,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.engine = engine
         self.quiet = quiet
+        self.admission = (
+            AdmissionController(metrics=engine.metrics)
+            if admission is None
+            else admission
+        )
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         super().__init__(address, _AssessmentHandler)
@@ -119,22 +154,36 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict[str, Any]) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except (ConnectionError, BrokenPipeError):
             # The client hung up mid-reply; nothing left to answer.
             self.server.engine.metrics.increment("client_disconnects")
 
-    def _reply_error(self, status: int, error_type: str, message: str) -> None:
+    def _reply_error(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._reply(
             status,
             {"error": {"type": error_type, "message": message}, "status": status},
+            headers=headers,
         )
 
     def _read_json_body(self) -> dict[str, Any]:
@@ -143,8 +192,21 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
             raise ValueError("empty request body")
         if length > _MAX_BODY_BYTES:
             raise ValueError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
-        body = self.rfile.read(length)
-        payload = json.loads(body)
+        # A socket read may return fewer bytes than asked for; keep
+        # reading until the declared Content-Length is satisfied, and
+        # reject bodies the client truncated instead of parsing a prefix.
+        chunks: list[bytes] = []
+        received = 0
+        while received < length:
+            chunk = self.rfile.read(length - received)
+            if not chunk:
+                raise ValueError(
+                    f"truncated request body: Content-Length said {length} "
+                    f"bytes but only {received} arrived"
+                )
+            chunks.append(chunk)
+            received += len(chunk)
+        payload = json.loads(b"".join(chunks))
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
         return payload
@@ -177,18 +239,64 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
                     raise ValueError("missing required key 'tolerance'")
                 profile = profile_from_json(payload["profile"])
                 interest = payload.get("interest")
+                tolerance = float(payload["tolerance"])
+                if not tolerance >= 0:
+                    raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+                runs = int(payload.get("runs", 5))
+                if runs < 1:
+                    raise ValueError(f"runs must be >= 1, got {runs}")
+                seed = int(payload.get("seed", 0))
+                if not 0 <= seed <= _MAX_SEED:
+                    raise ValueError(
+                        f"seed must be in [0, 2**64), got {seed}"
+                    )
                 params = AssessmentParams(
-                    tolerance=float(payload["tolerance"]),
+                    tolerance=tolerance,
                     delta=None if payload.get("delta") is None else float(payload["delta"]),
-                    runs=int(payload.get("runs", 5)),
-                    seed=int(payload.get("seed", 0)),
+                    runs=runs,
+                    seed=seed,
                     interest=None if interest is None else frozenset(interest),
+                )
+                deadline = payload.get("deadline_seconds")
+                budget = (
+                    None if deadline is None else request_budget(float(deadline))
                 )
             except (ValueError, TypeError, KeyError, json.JSONDecodeError, ReproError) as exc:
                 self._reply_error(400, type(exc).__name__, str(exc))
                 return
             try:
-                outcome = self.server.engine.assess_request(profile, params)
+                timeout = None if budget is None else budget.remaining_seconds()
+                with self.server.admission.admitted(timeout_seconds=timeout):
+                    outcome = self.server.engine.assess_request(
+                        profile, params, budget=budget
+                    )
+            except QueueFullError as exc:
+                self._reply_error(
+                    429,
+                    type(exc).__name__,
+                    str(exc),
+                    headers={"Retry-After": str(int(exc.retry_after + 0.5) or 1)},
+                )
+                return
+            except (AdmissionTimeout, CircuitOpenError) as exc:
+                self._reply_error(
+                    503,
+                    type(exc).__name__,
+                    str(exc),
+                    headers={"Retry-After": str(int(exc.retry_after + 0.5) or 1)},
+                )
+                return
+            except BudgetExceeded as exc:
+                # The deadline expired before any rung produced even a
+                # partial answer; tell the client to come back rather
+                # than hanging or dropping the connection.
+                self._reply_error(
+                    503,
+                    type(exc).__name__,
+                    f"deadline expired before any result was ready ({exc})",
+                    headers={"Retry-After": "1"},
+                )
+                return
             except ReproError as exc:
                 self._reply_error(422, type(exc).__name__, str(exc))
                 return
@@ -204,6 +312,7 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
                     "fingerprint": outcome.fingerprint,
                     "cached": outcome.cached,
                     "elapsed_seconds": outcome.elapsed_seconds,
+                    "partial": outcome.assessment.partial,
                     "assessment": assessment_to_json(outcome.assessment),
                 },
             )
@@ -214,9 +323,15 @@ def make_server(
     port: int = 0,
     engine: AssessmentEngine | None = None,
     quiet: bool = True,
+    max_inflight: int = 8,
+    max_queue: int = 32,
 ) -> AssessmentServer:
     """Create (but do not start) a server; ``port=0`` picks a free port."""
-    return AssessmentServer((host, port), engine or AssessmentEngine(), quiet=quiet)
+    engine = engine or AssessmentEngine()
+    admission = AdmissionController(
+        max_inflight=max_inflight, max_queue=max_queue, metrics=engine.metrics
+    )
+    return AssessmentServer((host, port), engine, quiet=quiet, admission=admission)
 
 
 def run_until_signal(
@@ -263,11 +378,15 @@ def serve(
     engine: AssessmentEngine | None = None,
     quiet: bool = False,
     grace_seconds: float = 5.0,
+    max_inflight: int = 8,
+    max_queue: int = 32,
 ) -> None:
     """Run the API until interrupted (the ``repro-serve`` entry point).
 
     Exits cleanly on ``SIGTERM`` or ``SIGINT``, draining in-flight
     requests for up to *grace_seconds* first.
     """
-    server = make_server(host, port, engine, quiet=quiet)
+    server = make_server(
+        host, port, engine, quiet=quiet, max_inflight=max_inflight, max_queue=max_queue
+    )
     run_until_signal(server, grace_seconds=grace_seconds)

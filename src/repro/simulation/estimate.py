@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.budget import ComputeBudget, PartialEstimate
+from repro.errors import BudgetExceeded, SimulationError
 from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
 from repro.simulation.gibbs import GibbsAssignmentSampler
 from repro.simulation.sampler import MatchingSampler
@@ -64,6 +65,34 @@ class SimulationResult:
         return abs(value - self.mean) <= max(self.std, 1e-12)
 
 
+def _partial_from_samples(
+    samples: list[float],
+    method: str,
+    reason: str,
+    budget: ComputeBudget | None,
+) -> PartialEstimate | None:
+    """Package the samples collected before exhaustion (None when empty).
+
+    The standard error is always finite: with fewer than two samples the
+    uncertainty is simply unquantified (0.0), never ``inf``/``nan``.
+    """
+    if not samples:
+        return None
+    mean = math.fsum(samples) / len(samples)
+    if len(samples) >= 2:
+        variance = math.fsum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        std_error = math.sqrt(variance / len(samples))
+    else:
+        std_error = 0.0
+    return PartialEstimate(
+        value=mean,
+        std_error=std_error,
+        sweeps_completed=budget.sweeps_completed if budget is not None else len(samples),
+        rung=f"mcmc-{method}",
+        reason=reason,
+    )
+
+
 def simulate_expected_cracks(
     space: MappingSpace,
     runs: int = 5,
@@ -74,6 +103,7 @@ def simulate_expected_cracks(
     rng: np.random.Generator | None = None,
     rao_blackwell: bool = False,
     method: str = "swap",
+    budget: ComputeBudget | None = None,
 ) -> SimulationResult:
     """Estimate the expected number of cracks by matching-swap simulation.
 
@@ -107,6 +137,12 @@ def simulate_expected_cracks(
         chain (frequency spaces only) — same stationary distribution, far
         faster mixing on large domains; see
         :mod:`repro.simulation.gibbs`.
+    budget:
+        Optional :class:`~repro.budget.ComputeBudget` polled inside every
+        sweep.  On exhaustion a :class:`~repro.errors.BudgetExceeded` is
+        raised carrying a :class:`~repro.budget.PartialEstimate` over the
+        samples collected so far (``partial=None`` when no sample was
+        drawn yet), so anytime callers can degrade instead of failing.
     """
     if runs <= 0 or samples_per_run <= 0:
         raise SimulationError("runs and samples_per_run must be positive")
@@ -120,19 +156,30 @@ def simulate_expected_cracks(
     rng = np.random.default_rng() if rng is None else rng
 
     run_means: list[float] = []
-    for _ in range(runs):
-        samples: list[float] = []
-        sampler = None
-        while len(samples) < samples_per_run:
-            if sampler is None or len(samples) % samples_per_seed == 0 and samples:
-                sampler = sampler_class(space, rng=rng)
-                sampler.sweep(burn_in_sweeps)
-            sampler.sweep(sweeps_per_sample)
-            if rao_blackwell:
-                samples.append(sampler.rao_blackwell_cracks())
-            else:
-                samples.append(float(sampler.crack_count()))
-        run_means.append(math.fsum(samples) / len(samples))
+    all_samples: list[float] = []
+    try:
+        for _ in range(runs):
+            samples: list[float] = []
+            sampler = None
+            # Bounded by samples_per_run; the budget (when given) is
+            # additionally polled inside every sweep.
+            while len(samples) < samples_per_run:  # repro-lint: disable=FS004 -- budget is threaded into each sweep call below
+                if sampler is None or len(samples) % samples_per_seed == 0 and samples:
+                    sampler = sampler_class(space, rng=rng)
+                    sampler.sweep(burn_in_sweeps, budget=budget)
+                sampler.sweep(sweeps_per_sample, budget=budget)
+                if rao_blackwell:
+                    samples.append(sampler.rao_blackwell_cracks())
+                else:
+                    samples.append(float(sampler.crack_count()))
+                all_samples.append(samples[-1])
+            run_means.append(math.fsum(samples) / len(samples))
+    except BudgetExceeded as exc:
+        raise BudgetExceeded(
+            str(exc),
+            partial=_partial_from_samples(all_samples, method, exc.reason, budget),
+            reason=exc.reason,
+        ) from exc
 
     mean = math.fsum(run_means) / runs
     if runs > 1:

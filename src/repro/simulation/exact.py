@@ -22,8 +22,9 @@ import math
 
 import numpy as np
 
+from repro.budget import ComputeBudget, PartialEstimate
 from repro.core.chain import chain_from_space
-from repro.errors import GraphError, NotAChainError, SimulationError
+from repro.errors import BudgetExceeded, GraphError, NotAChainError, SimulationError
 from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
 
 __all__ = [
@@ -59,6 +60,7 @@ def sample_chain_cracks(
     n_samples: int,
     rng: np.random.Generator | None = None,
     rao_blackwell: bool = True,
+    budget: ComputeBudget | None = None,
 ) -> np.ndarray:
     """Draw exact i.i.d. crack counts from a chain-structured space.
 
@@ -97,6 +99,15 @@ def sample_chain_cracks(
     samples = np.empty(n_samples, dtype=np.float64)
     k = len(space.groups)
     for sample_index in range(n_samples):
+        if budget is not None:
+            try:
+                budget.checkpoint(max(space.n, 1))
+            except BudgetExceeded as exc:
+                raise BudgetExceeded(
+                    str(exc),
+                    partial=_chain_partial(samples[:sample_index], exc.reason),
+                    reason=exc.reason,
+                ) from exc
         # Assigned-to-true-group tallies, seeded with the exclusives
         # (an exclusive item is always assigned its only — true — group).
         hits = np.zeros(k, dtype=np.int64)
@@ -132,14 +143,33 @@ def sample_chain_cracks(
     return samples
 
 
+def _chain_partial(collected: np.ndarray, reason: str) -> PartialEstimate | None:
+    """Partial estimate over the i.i.d. chain samples drawn so far."""
+    n = int(collected.size)
+    if n == 0:
+        return None
+    mean = float(collected.mean())
+    std_error = float(collected.std(ddof=1) / math.sqrt(n)) if n >= 2 else 0.0
+    return PartialEstimate(
+        value=mean,
+        std_error=std_error,
+        sweeps_completed=n,
+        rung="chain-sampler",
+        reason=reason,
+    )
+
+
 def simulate_chain_expected_cracks(
     space: FrequencyMappingSpace,
     n_samples: int = 1000,
     rng: np.random.Generator | None = None,
     rao_blackwell: bool = True,
+    budget: ComputeBudget | None = None,
 ) -> tuple[float, float]:
     """Mean and standard error of the exact chain sampler's estimate."""
-    samples = sample_chain_cracks(space, n_samples, rng=rng, rao_blackwell=rao_blackwell)
+    samples = sample_chain_cracks(
+        space, n_samples, rng=rng, rao_blackwell=rao_blackwell, budget=budget
+    )
     return float(samples.mean()), float(samples.std(ddof=1) / math.sqrt(len(samples)))
 
 
@@ -148,6 +178,7 @@ def best_expected_cracks(
     n_samples: int = 1000,
     rng: np.random.Generator | None = None,
     exact_budget: float = _EXACT_COST_BUDGET,
+    budget: ComputeBudget | None = None,
 ) -> tuple[float, float, str]:
     """Estimate ``E[X]`` by the best rung of the strategy ladder.
 
@@ -160,23 +191,49 @@ def best_expected_cracks(
     the plan name for exact rungs (``"interval-dp"``, ``"block-ryser"``,
     ...), ``"chain-sampler"``, or ``"mcmc-gibbs"`` / ``"mcmc-swap"``;
     exact rungs report a standard error of 0.
+
+    When *budget* (a :class:`~repro.budget.ComputeBudget`) runs out
+    inside an exact rung, the ladder degrades one rung instead of
+    failing: the sampling rungs can still deliver a bounded estimate in
+    whatever time remains.  Exhaustion inside a sampling rung propagates
+    :class:`~repro.errors.BudgetExceeded` carrying the partial estimate
+    accumulated so far.
     """
     from repro.graph.exact import exact_strategy, expected_cracks_exact
+    from repro.graph.intervaldp import DEFAULT_BUDGET, DPBudget
 
     plan = exact_strategy(space)
     if plan.feasible and plan.cost_hint <= exact_budget:
+        dp_budget = (
+            DEFAULT_BUDGET
+            if budget is None
+            else DPBudget(
+                max_states=DEFAULT_BUDGET.max_states,
+                max_ops=DEFAULT_BUDGET.max_ops,
+                compute=budget,
+            )
+        )
         try:
-            return expected_cracks_exact(space), 0.0, plan.strategy
+            return expected_cracks_exact(space, budget=dp_budget), 0.0, plan.strategy
         except GraphError:
             pass  # DP budget blown mid-run: drop to the sampling rungs
+        except BudgetExceeded:
+            # Deadline hit inside the exact rung: the exact engine has no
+            # partial answer, but a cheaper rung may still produce one
+            # before the next poll — degrade instead of failing.
+            pass
     if isinstance(space, FrequencyMappingSpace):
         try:
-            mean, stderr = simulate_chain_expected_cracks(space, n_samples, rng=rng)
+            mean, stderr = simulate_chain_expected_cracks(
+                space, n_samples, rng=rng, budget=budget
+            )
             return mean, stderr, "chain-sampler"
         except NotAChainError:
             pass
     from repro.simulation.estimate import simulate_expected_cracks
 
     method = "gibbs" if isinstance(space, FrequencyMappingSpace) else "swap"
-    result = simulate_expected_cracks(space, rng=rng, rao_blackwell=True, method=method)
+    result = simulate_expected_cracks(
+        space, rng=rng, rao_blackwell=True, method=method, budget=budget
+    )
     return result.mean, result.std, f"mcmc-{method}"

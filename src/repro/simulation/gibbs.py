@@ -24,9 +24,12 @@ boundaries step by step.
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.budget import ComputeBudget
+from repro.errors import FormatError, SimulationError
 from repro.graph.bipartite import FrequencyMappingSpace
 from repro.graph.matching import group_feasible_matching
 
@@ -104,20 +107,76 @@ class GibbsAssignmentSampler:
         self._assign[flexible] = g + 1
         self._assign[flexible[order[:quota_g]]] = g
 
-    def sweep(self, n_sweeps: int = 1) -> int:
+    def sweep(self, n_sweeps: int = 1, budget: ComputeBudget | None = None) -> int:
         """Run passes over all adjacent boundaries in random order.
 
         Returns the number of boundary moves attempted (for symmetry with
         the swap sampler's diagnostics).
+
+        When *budget* is given, every boundary move makes a cheap
+        :meth:`~repro.budget.ComputeBudget.checkpoint` call and every
+        completed sweep a :meth:`~repro.budget.ComputeBudget.sweep_tick`;
+        a sweep-quota interruption therefore always lands exactly on a
+        sweep boundary, which is what makes :meth:`snapshot` /
+        :meth:`restore` bit-identical under interruption.
         """
         moves = 0
         for _ in range(n_sweeps):
             if self.k < 2:
                 break
             for g in self.rng.permutation(self.k - 1):
+                if budget is not None:
+                    budget.checkpoint()
                 self._resample_boundary(int(g))
                 moves += 1
+            if budget is not None:
+                budget.sweep_tick()
         return moves
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of the chain state.
+
+        Captures the item-to-group assignment and the exact bit-generator
+        state, so a restored sampler continues the *identical* random
+        stream: interrupt-at-any-sweep + resume reproduces an
+        uninterrupted run bit for bit.
+        """
+        return {
+            "type": "gibbs_snapshot",
+            "n": int(self.n),
+            "k": int(self.k),
+            "assignment": [int(g) for g in self._assign],
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Restore chain state from a :meth:`snapshot` payload (in place)."""
+        if not isinstance(snapshot, Mapping) or snapshot.get("type") != "gibbs_snapshot":
+            raise FormatError(f"not a gibbs_snapshot payload: {type(snapshot)!r}")
+        if int(snapshot["n"]) != self.n or int(snapshot["k"]) != self.k:
+            raise SimulationError(
+                "snapshot shape mismatch: snapshot is for "
+                f"n={snapshot['n']}, k={snapshot['k']}; space has n={self.n}, k={self.k}"
+            )
+        assignment = np.asarray(snapshot["assignment"], dtype=np.int64)
+        if assignment.shape != self._assign.shape:
+            raise SimulationError("snapshot assignment length mismatch")
+        self._assign = assignment.copy()
+        state = snapshot["rng_state"]
+        self.rng.bit_generator.state = dict(state) if isinstance(state, Mapping) else state
+        if not self.check_consistency():
+            raise SimulationError("snapshot restores an inconsistent assignment")
+
+    @classmethod
+    def from_snapshot(
+        cls, space: FrequencyMappingSpace, snapshot: Mapping[str, Any]
+    ) -> "GibbsAssignmentSampler":
+        """Build a sampler over *space* and restore *snapshot* into it."""
+        sampler = cls(space, rng=np.random.default_rng(0), seed_with_truth=True)
+        sampler.restore(snapshot)
+        return sampler
 
     # -- observables ---------------------------------------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.budget import ComputeBudget
 from repro.errors import SimulationError
 from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
 from repro.graph.matching import group_feasible_matching
@@ -94,15 +95,20 @@ class MatchingSampler:
         f = self._freq[j]
         return self._low[i] <= f <= self._high[i]
 
-    def sweep(self, n_sweeps: int = 1) -> int:
+    def sweep(self, n_sweeps: int = 1, budget: ComputeBudget | None = None) -> int:
         """Run whole-permutation sweeps (``n`` proposals each).
 
         Returns the number of accepted swaps, mainly for diagnostics.
+        A *budget* is polled once per proposal (cheap checkpoint) and
+        ticked once per completed sweep, so quota interruptions land on
+        sweep boundaries.
         """
         accepted = 0
         match = self._match
         true = self._true
         for _ in range(n_sweeps):
+            if budget is not None:
+                budget.checkpoint(self.n)
             partner = self.rng.permutation(self.n)
             for a in range(self.n):
                 b = int(partner[a])
@@ -115,13 +121,17 @@ class MatchingSampler:
                     match[a], match[b] = jb, ja
                     self._cracks += after - before
                     accepted += 1
+            if budget is not None:
+                budget.sweep_tick()
         return accepted
 
-    def propose(self, n_proposals: int) -> int:
+    def propose(self, n_proposals: int, budget: ComputeBudget | None = None) -> int:
         """Run single random-pair proposals (finer-grained than sweeps)."""
         accepted = 0
         match = self._match
         true = self._true
+        if budget is not None:
+            budget.checkpoint(n_proposals)
         pairs = self.rng.integers(0, self.n, size=(n_proposals, 2))
         for a, b in pairs:
             a, b = int(a), int(b)

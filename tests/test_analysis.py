@@ -253,6 +253,68 @@ class TestFaultSafetyRules:
         assert "FS003" not in rules_hit(analyze_source(source, module="repro.io"))
 
 
+class TestUnbudgetedHotLoopRule:
+    def test_unbudgeted_while_in_simulation_flagged(self):
+        source = "def run(x):\n    while x > 0:\n        x -= 1\n"
+        assert "FS004" in rules_hit(
+            analyze_source(source, module="repro.simulation.fake")
+        )
+
+    def test_unbudgeted_while_in_graph_flagged(self):
+        source = "def run(x):\n    while x > 0:\n        x -= 1\n"
+        assert "FS004" in rules_hit(analyze_source(source, module="repro.graph.fake"))
+
+    def test_budget_name_in_loop_passes(self):
+        source = (
+            "def run(x, budget):\n"
+            "    while x > 0:\n"
+            "        budget.checkpoint()\n"
+            "        x -= 1\n"
+        )
+        assert "FS004" not in rules_hit(
+            analyze_source(source, module="repro.simulation.fake")
+        )
+
+    def test_poll_call_in_loop_passes(self):
+        source = (
+            "def run(x, quota):\n"
+            "    while x > 0:\n"
+            "        quota.tick(1)\n"
+            "        x -= 1\n"
+        )
+        assert "FS004" not in rules_hit(
+            analyze_source(source, module="repro.graph.fake")
+        )
+
+    def test_shifted_range_for_loop_flagged(self):
+        source = "def run(n):\n    for s in range(1 << n):\n        pass\n"
+        assert "FS004" in rules_hit(analyze_source(source, module="repro.graph.fake"))
+
+    def test_plain_range_for_loop_passes(self):
+        source = "def run(n):\n    for s in range(n):\n        pass\n"
+        assert "FS004" not in rules_hit(
+            analyze_source(source, module="repro.graph.fake")
+        )
+
+    def test_outside_hot_modules_passes(self):
+        source = "def run(x):\n    while x > 0:\n        x -= 1\n"
+        for module in ("repro.service.engine", "repro.data.database", None):
+            assert "FS004" not in rules_hit(analyze_source(source, module=module))
+
+    def test_audited_suppression_is_recorded(self):
+        source = (
+            "def run(x):\n"
+            "    while x > 0:  # repro-lint: disable=FS004 -- bounded by x\n"
+            "        x -= 1\n"
+        )
+        result = analyze_source(source, module="repro.graph.fake")
+        assert "FS004" not in rules_hit(result)
+        assert any(
+            s.violation.rule == "FS004" and s.justification == "bounded by x"
+            for s in result.suppressed
+        )
+
+
 class TestLayeringRules:
     def test_upward_module_level_import_flagged(self):
         project = Project()

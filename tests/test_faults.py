@@ -23,7 +23,7 @@ import pytest
 
 from repro.data import FrequencyProfile, TransactionDatabase, write_fimi
 from repro.errors import FormatError, ReproError
-from repro.io import load_json, profile_to_json, save_json
+from repro.io import SCHEMA_VERSION, load_json, profile_to_json, save_json
 from repro.recipe import assess_risk
 from repro.service import (
     AssessmentCache,
@@ -228,9 +228,9 @@ class TestCorruptDiskEntries:
             lambda text: json.dumps(  # wrong shape: missing assessment keys
                 {
                     "type": "cached_assessment",
-                    "schema_version": 2,
+                    "schema_version": SCHEMA_VERSION,
                     "fingerprint": "ff",
-                    "assessment": {"type": "risk_assessment", "schema_version": 2},
+                    "assessment": {"type": "risk_assessment", "schema_version": SCHEMA_VERSION},
                 }
             ),
         ],
