@@ -73,6 +73,7 @@ EXACT_MODULES = frozenset(
         "repro.graph.intervaldp",
         "repro.graph.blocks",
         "repro.graph.exact",
+        "repro.graph.refine",
     }
 )
 
@@ -85,7 +86,9 @@ DETERMINISM_MODULES = frozenset(
         "repro.service.cache",
         "repro.service.engine",
         "repro.service.pool",
+        "repro.service.crack",
         "repro.io",
+        "repro.attack.solver.events",
     }
 )
 

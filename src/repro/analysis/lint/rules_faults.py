@@ -23,7 +23,7 @@ _WRITE_MODES = frozenset("wax")
 #: Module prefixes whose loops are deadline-relevant hot paths: these are
 #: the compute kernels a request :class:`~repro.budget.ComputeBudget`
 #: must be able to interrupt (anytime assessment, ISSUE 5).
-_BUDGET_MODULE_PREFIXES = ("repro.simulation", "repro.graph")
+_BUDGET_MODULE_PREFIXES = ("repro.simulation", "repro.graph", "repro.attack")
 
 #: Method names that count as budget polling inside a loop body.
 _BUDGET_CALL_NAMES = frozenset({"checkpoint", "poll", "tick", "sweep_tick"})

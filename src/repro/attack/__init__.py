@@ -10,11 +10,20 @@ for red-teaming:
 * :func:`~repro.attack.guess.candidate_ranking` — the posterior over
   original items for one anonymized item;
 * :func:`~repro.attack.evaluate.evaluate_attack` — run an attack against
-  a released database and score it against the owner's ground truth.
+  a released database and score it against the owner's ground truth;
+* :mod:`repro.attack.solver` — the streaming workbench: an incremental
+  :class:`~repro.attack.solver.ConsistencySolver` maintaining the exact
+  forced/forbidden/undecided edge partition as observations arrive.
 """
 
 from repro.attack.evaluate import AttackOutcome, evaluate_attack
 from repro.attack.guess import CrackGuess, best_guess_mapping, candidate_ranking
+from repro.attack.solver import (
+    ConsistencySolver,
+    Observation,
+    SolverEvent,
+    solver_from_space,
+)
 
 __all__ = [
     "CrackGuess",
@@ -22,4 +31,8 @@ __all__ = [
     "candidate_ranking",
     "AttackOutcome",
     "evaluate_attack",
+    "ConsistencySolver",
+    "Observation",
+    "SolverEvent",
+    "solver_from_space",
 ]

@@ -1,0 +1,204 @@
+"""Wire format of the attacker workbench: observations in, events out.
+
+The ``repro-crack`` CLI and the ``POST /crack/step`` endpoint speak
+JSONL — one JSON object per line, no wall-clock timestamps (streams must
+replay byte-identically).  Four observation kinds tighten the
+consistency graph (every one is an *intersection* of candidate sets, so
+the final edge partition is independent of observation order):
+
+``confirm``
+    ``{"kind": "confirm", "item": 3, "anon": 5}`` — a confirmed
+    identification: item 3 *is* anonymized item 5.
+``restrict``
+    ``{"kind": "restrict", "item": 3, "anons": [1, 5]}`` — auxiliary
+    knowledge narrows item 3's candidates to the listed anons.
+``tighten``
+    ``{"kind": "tighten", "item": 3, "low": 0.4, "high": 0.5}`` — the
+    hacker's belief interval for item 3 tightened; candidates outside
+    the observed-frequency window drop out (requires the instance to
+    carry observed frequencies).
+``transaction``
+    ``{"kind": "transaction", "items": [1, 2], "anons": [4, 5, 6]}`` —
+    an auxiliary transaction: each listed item's partner lies among the
+    listed anons.
+
+``{"kind": "close"}`` ends a ``--watch`` stream.
+
+The solver answers with events:
+
+``forced``
+    ``{"event": "forced", "step": 2, "item": 3, "anon": 5, ...}`` — the
+    edge just locked on: it is in *every* consistent mapping.  When the
+    instance carries ground truth, ``"crack": true`` marks a certain
+    identification.
+``forbidden``
+    The edge was proven absent from every consistent mapping.
+``infeasible``
+    No consistent mapping is left; carries the Hall witness.
+``summary``
+    Totals after a step (emitted once per ingest by the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SolverError
+
+__all__ = [
+    "Observation",
+    "SolverEvent",
+    "decode_observation",
+    "read_observations",
+]
+
+OBSERVATION_KINDS = ("confirm", "restrict", "tighten", "transaction", "close")
+EVENT_KINDS = ("forced", "forbidden", "infeasible", "summary")
+
+
+def _index(payload: Mapping[str, object], key: str, kind: str) -> int:
+    value = payload.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise SolverError(f"{kind!r} observation needs a non-negative integer {key!r}")
+    return value
+
+
+def _index_tuple(payload: Mapping[str, object], key: str, kind: str) -> tuple[int, ...]:
+    value = payload.get(key)
+    if not isinstance(value, (list, tuple)):
+        raise SolverError(f"{kind!r} observation needs a list under {key!r}")
+    out = []
+    for element in value:
+        if not isinstance(element, int) or isinstance(element, bool) or element < 0:
+            raise SolverError(f"{kind!r} observation: {key!r} must hold non-negative integers")
+        out.append(element)
+    return tuple(out)
+
+
+def _bound(payload: Mapping[str, object], key: str, kind: str) -> float:
+    value = payload.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SolverError(f"{kind!r} observation needs a numeric {key!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One parsed observation (see the module docstring for the kinds)."""
+
+    kind: str
+    item: int | None = None
+    anon: int | None = None
+    low: float | None = None
+    high: float | None = None
+    items: tuple[int, ...] | None = None
+    anons: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "Observation":
+        kind = payload.get("kind")
+        if kind not in OBSERVATION_KINDS:
+            raise SolverError(
+                f"unknown observation kind {kind!r}; expected one of {OBSERVATION_KINDS}"
+            )
+        if kind == "close":
+            return cls(kind="close")
+        if kind == "confirm":
+            return cls(
+                kind="confirm",
+                item=_index(payload, "item", kind),
+                anon=_index(payload, "anon", kind),
+            )
+        if kind == "restrict":
+            return cls(
+                kind="restrict",
+                item=_index(payload, "item", kind),
+                anons=_index_tuple(payload, "anons", kind),
+            )
+        if kind == "tighten":
+            low = _bound(payload, "low", kind)
+            high = _bound(payload, "high", kind)
+            if low > high:
+                raise SolverError(f"'tighten' needs low <= high, got [{low}, {high}]")
+            return cls(kind="tighten", item=_index(payload, "item", kind), low=low, high=high)
+        return cls(
+            kind="transaction",
+            items=_index_tuple(payload, "items", kind),
+            anons=_index_tuple(payload, "anons", kind),
+        )
+
+    def to_json(self) -> dict[str, object]:
+        payload: dict[str, object] = {"kind": self.kind}
+        if self.item is not None:
+            payload["item"] = self.item
+        if self.anon is not None:
+            payload["anon"] = self.anon
+        if self.low is not None:
+            payload["low"] = self.low
+        if self.high is not None:
+            payload["high"] = self.high
+        if self.items is not None:
+            payload["items"] = list(self.items)
+        if self.anons is not None:
+            payload["anons"] = list(self.anons)
+        return payload
+
+    def encode(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SolverEvent:
+    """One solver output event (``forced`` / ``forbidden`` / ...)."""
+
+    kind: str
+    step: int
+    item: int | None = None
+    anon: int | None = None
+    item_label: str | None = None
+    anon_label: str | None = None
+    crack: bool | None = None
+    detail: str | None = None
+    counts: Mapping[str, int] | None = None
+
+    def to_json(self) -> dict[str, object]:
+        payload: dict[str, object] = {"event": self.kind, "step": self.step}
+        if self.item is not None:
+            payload["item"] = self.item
+        if self.anon is not None:
+            payload["anon"] = self.anon
+        if self.item_label is not None:
+            payload["item_label"] = self.item_label
+        if self.anon_label is not None:
+            payload["anon_label"] = self.anon_label
+        if self.crack is not None:
+            payload["crack"] = self.crack
+        if self.detail is not None:
+            payload["detail"] = self.detail
+        if self.counts is not None:
+            payload["counts"] = {key: self.counts[key] for key in sorted(self.counts)}
+        return payload
+
+    def encode(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+
+def decode_observation(line: str) -> Observation:
+    """Parse one JSONL observation line."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise SolverError(f"observation line is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise SolverError("an observation line must hold a JSON object")
+    return Observation.from_json(payload)
+
+
+def read_observations(lines: Iterable[str]) -> Iterator[Observation]:
+    """Parse a JSONL observation stream, skipping blank lines."""
+    for line in lines:
+        stripped = line.strip()
+        if stripped:
+            yield decode_observation(stripped)

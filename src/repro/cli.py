@@ -1,10 +1,15 @@
-"""Command-line interfaces: ``repro-assess``, ``repro-batch``, ``repro-serve``.
+"""Command-line interfaces: ``repro-assess``, ``repro-batch``,
+``repro-serve``, ``repro-crack``.
 
 ``repro-assess`` runs the Assess-Risk recipe (Figure 8) on a calibrated
 benchmark or a FIMI ``.dat`` file, optionally followed by the
 Similarity-by-Sampling curve (Figure 13).  ``repro-batch`` fans a
 manifest of datasets out across the service layer's worker pool and
 writes JSON-lines results; ``repro-serve`` exposes the engine over HTTP.
+``repro-crack`` is the streaming attacker workbench: it loads a
+consistency-graph instance, reads JSONL observations (stdin, a file, or
+a file tailed with ``--watch``), and prints forced/forbidden events the
+moment each identification locks on (see docs/attack.md).
 
 Examples::
 
@@ -15,6 +20,9 @@ Examples::
     repro-assess --benchmark mushroom --save-assessment decision.json
     repro-batch manifest.json --workers 4 --output results.jsonl
     repro-serve --port 8080 --cache-dir /var/cache/repro
+    repro-crack --instance staircase.json < observations.jsonl
+    repro-crack --instance release.json --observations feed.jsonl --watch
+    repro-crack --smoke
 """
 
 from __future__ import annotations
@@ -48,6 +56,8 @@ __all__ = [
     "build_batch_parser",
     "serve_main",
     "build_serve_parser",
+    "crack_main",
+    "build_crack_parser",
 ]
 
 
@@ -602,6 +612,192 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
     print("shutting down")
+    return 0
+
+
+# -- repro-crack ------------------------------------------------------------
+
+
+def build_crack_parser() -> argparse.ArgumentParser:
+    """The ``repro-crack`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-crack",
+        description="Streaming attacker workbench: maintain the exact "
+        "forced/forbidden/undecided edge partition of a consistency graph "
+        "as JSONL observations arrive (see docs/attack.md).",
+    )
+    _add_version_flag(parser)
+    parser.add_argument(
+        "--instance",
+        metavar="PATH",
+        default=None,
+        help="instance JSON: {\"adjacency\": [[...], ...]} with optional "
+        "\"observed\", \"truth\" and \"degree_k\", or "
+        "{\"profile\": <profile_to_json payload>, \"delta\": 0.01}",
+    )
+    parser.add_argument(
+        "--observations",
+        metavar="PATH",
+        default=None,
+        help="JSONL observation stream (default: stdin)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="tail --observations for appended lines until a "
+        "{\"kind\": \"close\"} arrives",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="polling interval for --watch (default 0.5)",
+    )
+    parser.add_argument(
+        "--degree-k",
+        type=int,
+        default=None,
+        help="naked-subset propagation depth override (default 3)",
+    )
+    parser.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="suppress the per-step summary events",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI self-check (staircase forces everything without "
+        "touching Ryser or the interval DP) and exit",
+    )
+    return parser
+
+
+def _crack_smoke() -> int:
+    """The ``--smoke`` gate: propagation alone must crack the staircase.
+
+    Figure 6(a)'s staircase graph has exactly one consistent mapping, so
+    the solver must stream every forced identification from the initial
+    classification — with the exact counting engines (Ryser, interval
+    DP) patched to fail on touch, proving the workbench never leans on
+    them.
+    """
+    # import_module, not ``import repro.graph.permanent``: the package
+    # re-exports the ``permanent`` *function* under the same attribute.
+    from importlib import import_module
+
+    from repro.attack.solver import ConsistencySolver, Observation
+
+    permanent_mod = import_module("repro.graph.permanent")
+    intervaldp_mod = import_module("repro.graph.intervaldp")
+
+    n = 6
+    adjacency = [list(range(i + 1)) for i in range(n)]
+
+    def _forbidden_engine(*args: object, **kwargs: object) -> object:
+        raise AssertionError("smoke: the exact counting engines must not run")
+
+    saved = (permanent_mod.permanent, intervaldp_mod.assignment_count)
+    permanent_mod.permanent = _forbidden_engine  # type: ignore[assignment]
+    intervaldp_mod.assignment_count = _forbidden_engine  # type: ignore[assignment]
+    try:
+        solver = ConsistencySolver(adjacency, true_partner_of=list(range(n)))
+        events = solver.bootstrap()
+        forced = {(e.item, e.anon) for e in events if e.kind == "forced"}
+        if forced != {(i, i) for i in range(n)}:
+            print(f"smoke FAILED: forced pairs {sorted(forced)}", file=sys.stderr)
+            return 1
+        if any(e.crack is not True for e in events if e.kind == "forced"):
+            print("smoke FAILED: a forced pair was not a certified crack", file=sys.stderr)
+            return 1
+        summary = solver.summary()
+        if summary["undecided"] != 0 or summary.get("certified_cracks") != n:
+            print(f"smoke FAILED: summary {summary}", file=sys.stderr)
+            return 1
+        # A redundant confirm must change nothing; a contradicting one
+        # must flip the instance to infeasible — still engine-free.
+        if solver.ingest(Observation(kind="confirm", item=0, anon=0)):
+            print("smoke FAILED: a redundant confirm emitted events", file=sys.stderr)
+            return 1
+        contradiction = solver.ingest(Observation(kind="confirm", item=1, anon=0))
+        if [e.kind for e in contradiction] != ["infeasible"]:
+            print("smoke FAILED: contradiction not detected", file=sys.stderr)
+            return 1
+    finally:
+        permanent_mod.permanent, intervaldp_mod.assignment_count = saved
+    print(
+        f"repro-crack smoke ok: staircase n={n} streamed {n} certified "
+        "identifications, exact engines untouched"
+    )
+    return 0
+
+
+def crack_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-crack``; returns a process exit code."""
+    import time
+
+    from repro.attack.solver import SolverEvent, decode_observation, read_observations
+    from repro.service.crack import solver_from_instance
+
+    args = build_crack_parser().parse_args(argv)
+    if args.smoke:
+        return _crack_smoke()
+    if args.instance is None:
+        print("error: --instance is required (or --smoke)", file=sys.stderr)
+        return 2
+    if args.watch and args.observations is None:
+        print("error: --watch needs --observations PATH to tail", file=sys.stderr)
+        return 2
+
+    def emit(event: SolverEvent) -> None:
+        print(event.encode(), flush=True)
+
+    try:
+        instance = load_json(args.instance)
+        if args.degree_k is not None:
+            instance = {**instance, "degree_k": args.degree_k}
+        solver = solver_from_instance(instance)
+
+        def ingest(observation) -> None:
+            for event in solver.ingest(observation):
+                emit(event)
+            if not args.no_summary and observation.kind != "close":
+                counts = {
+                    key: int(value)
+                    for key, value in solver.summary().items()
+                    if key not in ("n", "step")
+                }
+                emit(SolverEvent(kind="summary", step=solver.step, counts=counts))
+
+        for event in solver.bootstrap():
+            emit(event)
+        if args.watch:
+            with open(args.observations, "r", encoding="utf-8") as handle:
+                while not solver.closed:
+                    line = handle.readline()
+                    if not line:
+                        time.sleep(args.poll)
+                        continue
+                    if line.strip():
+                        ingest(decode_observation(line))
+        else:
+            if args.observations is None:
+                for observation in read_observations(sys.stdin):
+                    ingest(observation)
+                    if solver.closed:
+                        break
+            else:
+                with open(args.observations, "r", encoding="utf-8") as handle:
+                    for observation in read_observations(handle):
+                        ingest(observation)
+                        if solver.closed:
+                            break
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
     return 0
 
 

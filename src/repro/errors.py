@@ -21,6 +21,7 @@ __all__ = [
     "NotAChainError",
     "SimulationError",
     "RecipeError",
+    "SolverError",
     "BudgetExceeded",
 ]
 
@@ -75,6 +76,10 @@ class SimulationError(ReproError):
 
 class RecipeError(ReproError):
     """The Assess-Risk recipe was invoked with invalid inputs."""
+
+
+class SolverError(ReproError):
+    """A malformed observation or instance fed to the attacker workbench."""
 
 
 class BudgetExceeded(ReproError):

@@ -51,6 +51,14 @@ from repro.graph.permanent import (
     permanent,
 )
 from repro.graph.propagation import PropagationResult, propagate_degree_one
+from repro.graph.refine import (
+    DegreeKResult,
+    EdgeClassification,
+    classify_adjacency,
+    classify_edges,
+    propagate_degree_k,
+    reduced_blocks,
+)
 
 __all__ = [
     "MappingSpace",
@@ -82,4 +90,10 @@ __all__ = [
     "crack_distribution_exact",
     "PropagationResult",
     "propagate_degree_one",
+    "EdgeClassification",
+    "DegreeKResult",
+    "classify_adjacency",
+    "classify_edges",
+    "propagate_degree_k",
+    "reduced_blocks",
 ]

@@ -23,12 +23,16 @@ integers, so wherever Ryser is also feasible the two agree bit for bit.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import GraphError, InfeasibleMatchingError
+
+if TYPE_CHECKING:
+    from repro.graph.refine import EdgeClassification
 from repro.graph.bipartite import FrequencyMappingSpace, MappingSpace
 from repro.graph.blocks import Block, BlockDecomposition, decompose
 from repro.graph.intervaldp import (
@@ -60,6 +64,8 @@ STRATEGY_BLOCK_RYSER = "block-ryser"
 STRATEGY_INTERVAL_DP = "interval-dp"
 STRATEGY_BLOCK_INTERVAL_DP = "block-interval-dp"
 STRATEGY_INFEASIBLE = "infeasible"
+#: Solver preprocessing decided every edge — nothing left to count.
+STRATEGY_PROPAGATION = "propagation"
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,20 @@ class ExactPlan:
         subsets), so plans for the same space always compare equal.
     reason:
         Why the plan is infeasible / unmatchable, when it is.
+    preprocessed:
+        True when solver preprocessing (:mod:`repro.graph.refine`) ran:
+        forced pairs and forbidden edges were peeled off before block
+        decomposition, which preserves the permanent and the surviving
+        marginals exactly.
+    forced_pairs:
+        Edges present in every perfect matching (removed as solved
+        1x1 subproblems), when preprocessed.
+    forbidden_edges:
+        Edges present in no perfect matching (deleted), when
+        preprocessed.
+    largest_block_raw:
+        Largest block of the *unpreprocessed* decomposition, recorded so
+        the reduction is auditable; ``None`` when not preprocessed.
     """
 
     strategy: str
@@ -99,6 +119,10 @@ class ExactPlan:
     block_strategies: tuple[str, ...]
     cost_hint: float
     reason: str | None = None
+    preprocessed: bool = False
+    forced_pairs: int = 0
+    forbidden_edges: int = 0
+    largest_block_raw: int | None = None
 
 
 def _frequency_block_problem(
@@ -137,8 +161,30 @@ def _dp_cost_hint(
     return len(capacities) * min(states, 10**9) * min(transitions, 10**9)
 
 
-def exact_strategy(space: MappingSpace, limit: int | None = None) -> ExactPlan:
-    """Inspect a space and pick the exact engine for each block."""
+def exact_strategy(
+    space: MappingSpace,
+    limit: int | None = None,
+    preprocess: bool = False,
+    budget: DPBudget = DEFAULT_BUDGET,
+) -> ExactPlan:
+    """Inspect a space and pick the exact engine for each block.
+
+    With ``preprocess=True``, the solver's edge classification
+    (:func:`repro.graph.refine.classify_edges`) first peels off forced
+    pairs and forbidden edges — a permanent-preserving reduction — and
+    the plan is drawn over the *reduced* blocks whenever that helps (it
+    always does for explicit spaces; frequency spaces keep the interval
+    DP unless the reduction rescues an otherwise infeasible plan).  The
+    reduction is recorded in the plan's ``forced_pairs`` /
+    ``forbidden_edges`` / ``largest_block_raw`` fields.
+    """
+    plain = _plain_strategy(space, limit)
+    if not preprocess:
+        return plain
+    return _preprocessed_strategy(space, plain, limit, budget)
+
+
+def _plain_strategy(space: MappingSpace, limit: int | None = None) -> ExactPlan:
     limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
     decomposition = decompose(space)
     if not decomposition.matchable:
@@ -208,6 +254,91 @@ def _overall_name(space: MappingSpace, decomposition: BlockDecomposition) -> str
     return STRATEGY_BLOCK_RYSER if many else STRATEGY_RYSER
 
 
+def _classify(space: MappingSpace, budget: DPBudget) -> "EdgeClassification":
+    from repro.graph.refine import classify_edges
+
+    return classify_edges(space, budget=budget.compute)
+
+
+def _preprocessed_strategy(
+    space: MappingSpace, plain: ExactPlan, limit: int | None, budget: DPBudget
+) -> ExactPlan:
+    """Re-plan over the solver-reduced blocks, recording the reduction."""
+    from repro.graph.refine import reduced_blocks
+
+    limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
+    if not plain.matchable:
+        return replace(plain, preprocessed=True, largest_block_raw=plain.largest_block)
+    classification = _classify(space, budget)
+    if classification.infeasible:
+        return replace(
+            plain,
+            strategy=STRATEGY_INFEASIBLE,
+            matchable=False,
+            block_strategies=(),
+            cost_hint=0,
+            reason=classification.reason,
+            preprocessed=True,
+            forbidden_edges=classification.n_forbidden,
+            largest_block_raw=plain.largest_block,
+        )
+    blocks = reduced_blocks(classification)
+    block_strategies: list[str] = []
+    cost = 0
+    feasible = True
+    reason = None
+    for block in blocks:
+        if block.n <= limit:
+            block_strategies.append(STRATEGY_RYSER)
+            cost += block.n**2 * 2**block.n
+        else:
+            block_strategies.append(STRATEGY_INFEASIBLE)
+            feasible = False
+            reason = (
+                f"a {block.n}-item reduced block still exceeds the Ryser "
+                f"limit ({limit})"
+            )
+    if not blocks:
+        strategy = STRATEGY_PROPAGATION
+    elif not feasible:
+        strategy = STRATEGY_INFEASIBLE
+    else:
+        strategy = STRATEGY_BLOCK_RYSER if len(blocks) > 1 else STRATEGY_RYSER
+    reduced = ExactPlan(
+        strategy=strategy,
+        feasible=feasible,
+        matchable=True,
+        n=space.n,
+        n_blocks=len(blocks),
+        largest_block=max((block.n for block in blocks), default=0),
+        block_sizes=tuple(block.n for block in blocks),
+        block_strategies=tuple(block_strategies),
+        cost_hint=cost,
+        reason=reason,
+        preprocessed=True,
+        forced_pairs=classification.n_forced,
+        forbidden_edges=classification.n_forbidden,
+        largest_block_raw=plain.largest_block,
+    )
+    if isinstance(space, FrequencyMappingSpace) and plain.feasible:
+        # The interval DP survives edge removal only in spirit, not in
+        # structure, so a feasible DP plan is kept unless the reduction
+        # plan is strictly cheaper; the reduction stats still ride along.
+        if not reduced.feasible or reduced.cost_hint >= plain.cost_hint:
+            return replace(
+                reduced,
+                strategy=plain.strategy,
+                feasible=plain.feasible,
+                n_blocks=plain.n_blocks,
+                largest_block=plain.largest_block,
+                block_sizes=plain.block_sizes,
+                block_strategies=plain.block_strategies,
+                cost_hint=plain.cost_hint,
+                reason=plain.reason,
+            )
+    return reduced
+
+
 # -- per-block engines -------------------------------------------------------
 
 
@@ -243,19 +374,51 @@ def _frequency_block_count(
     return assignments, matchings
 
 
+def _classification_matrix(
+    classification: "EdgeClassification", block: Block
+) -> np.ndarray:
+    """Undecided-subgraph adjacency matrix of one reduced block."""
+    anon_local = {j: r for r, j in enumerate(block.anon_indices)}
+    matrix = np.zeros((len(block.anon_indices), len(block.item_indices)), dtype=np.int64)
+    for c, i in enumerate(block.item_indices):
+        for j in classification.undecided[i]:
+            matrix[anon_local[j], c] = 1
+    return matrix
+
+
 def count_matchings_exact(
     space: MappingSpace,
     limit: int | None = None,
     budget: DPBudget = DEFAULT_BUDGET,
+    preprocess: bool = False,
 ) -> int:
     """The number of consistent crack mappings, as an exact integer.
 
     Equals the permanent of the adjacency matrix, computed as a product
     over blocks — interval DP on frequency blocks, Ryser on small
     explicit ones.  Raises :class:`~repro.errors.GraphError` when some
-    block is beyond every engine.
+    block is beyond every engine.  With ``preprocess=True``, forced
+    pairs and forbidden edges are peeled off first (the permanent is
+    invariant under both removals) and Ryser runs over the reduced
+    blocks only.
     """
     limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
+    if preprocess:
+        from repro.graph.permanent import permanent
+        from repro.graph.refine import reduced_blocks
+
+        classification = _classify(space, budget)
+        if classification.infeasible:
+            return 0
+        total = 1
+        for block in reduced_blocks(classification):
+            _require_ryser_block(block, limit)
+            matrix = _classification_matrix(classification, block)
+            matchings = int(permanent(matrix, limit=limit, budget=budget.compute))
+            if matchings == 0:
+                return 0
+            total *= matchings
+        return total
     decomposition = decompose(space)
     if not decomposition.matchable:
         return 0
@@ -336,22 +499,62 @@ def _explicit_block_marginals(
         marginals[i] = permanent(minor, limit=limit, budget=budget.compute) / total  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
 
 
+def _classified_marginals(
+    space: MappingSpace,
+    classification: "EdgeClassification",
+    marginals: np.ndarray,
+    limit: int,
+    budget: DPBudget,
+) -> None:
+    """Marginals over the solver-reduced blocks (plus the forced pairs)."""
+    from repro.graph.permanent import permanent
+    from repro.graph.refine import reduced_blocks
+
+    for i, j in classification.forced.items():
+        if space.true_partner(i) == j:
+            marginals[i] = 1  # a forced true edge is a certain crack
+    for block in reduced_blocks(classification):
+        _require_ryser_block(block, limit)
+        matrix = _classification_matrix(classification, block)
+        total = permanent(matrix, limit=limit, budget=budget.compute)
+        if total == 0:
+            raise InfeasibleMatchingError("no consistent perfect matching exists")
+        anon_local = {j: r for r, j in enumerate(block.anon_indices)}
+        for c, i in enumerate(block.item_indices):
+            j = space.true_partner(i)
+            row = anon_local.get(j)
+            if row is None or matrix[row, c] == 0:
+                continue
+            minor = np.delete(np.delete(matrix, row, axis=0), c, axis=1)
+            marginals[i] = permanent(minor, limit=limit, budget=budget.compute) / total  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
+
+
 def crack_marginals_exact(
     space: MappingSpace,
     limit: int | None = None,
     budget: DPBudget = DEFAULT_BUDGET,
+    preprocess: bool = False,
 ) -> np.ndarray:
     """Exact per-item crack probabilities, block by block.
 
     Raises :class:`~repro.errors.InfeasibleMatchingError` when no
     consistent matching exists and :class:`~repro.errors.GraphError`
-    when some block defeats every exact engine.
+    when some block defeats every exact engine.  With
+    ``preprocess=True``, forced true edges contribute marginal 1
+    directly and Ryser minors run over the reduced blocks only (forbidden
+    edges never carry probability mass, so the reduction is exact).
     """
     limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
+    marginals = np.zeros(space.n, dtype=np.float64)  # repro-lint: disable=EX004 -- probability boundary: output array of P(crack)
+    if preprocess:
+        classification = _classify(space, budget)
+        if classification.infeasible:
+            raise InfeasibleMatchingError("no consistent perfect matching exists")
+        _classified_marginals(space, classification, marginals, limit, budget)
+        return marginals
     decomposition = decompose(space)
     if not decomposition.matchable:
         raise InfeasibleMatchingError("no consistent perfect matching exists")
-    marginals = np.zeros(space.n, dtype=np.float64)  # repro-lint: disable=EX004 -- probability boundary: output array of P(crack)
     for block in decomposition.blocks:
         if isinstance(space, FrequencyMappingSpace):
             _frequency_block_marginals(space, block, marginals, budget)
@@ -364,6 +567,7 @@ def expected_cracks_exact(
     space: MappingSpace,
     limit: int | None = None,
     budget: DPBudget = DEFAULT_BUDGET,
+    preprocess: bool = False,
 ) -> float:
     """Exact ``E[X]`` by the direct method, structure-exploiting.
 
@@ -371,7 +575,7 @@ def expected_cracks_exact(
     the Ryser cap: linearity makes ``E[X]`` the sum of per-block
     marginal sums, each computed by the block's engine.
     """
-    return float(crack_marginals_exact(space, limit=limit, budget=budget).sum())  # repro-lint: disable=EX004 -- public float API edge
+    return float(crack_marginals_exact(space, limit=limit, budget=budget, preprocess=preprocess).sum())  # repro-lint: disable=EX004 -- public float API edge
 
 
 def _enumerate_block_law(

@@ -33,6 +33,12 @@ class PropagationResult:
     ----------
     forced:
         Item->anon index pairs present in every perfect matching.
+    forbidden:
+        Item index -> anon indices whose edges the cascade *proved*
+        absent from every perfect matching: each was deleted because its
+        other endpoint got consumed by a forced pair.  (Degree-1 removal
+        used to discard this information; the attacker workbench reuses
+        it instead of reclassifying from scratch.)
     remaining_outdegrees:
         Outdegree of every *unforced* item in the reduced graph.
     remaining_adjacency:
@@ -44,6 +50,7 @@ class PropagationResult:
     """
 
     forced: dict[int, int] = field(default_factory=dict)
+    forbidden: dict[int, set[int]] = field(default_factory=dict)
     remaining_outdegrees: dict[int, int] = field(default_factory=dict)
     remaining_adjacency: dict[int, set[int]] = field(default_factory=dict)
     infeasible: bool = False
@@ -51,6 +58,10 @@ class PropagationResult:
     @property
     def n_forced(self) -> int:
         return len(self.forced)
+
+    @property
+    def n_forbidden(self) -> int:
+        return sum(len(anons) for anons in self.forbidden.values())
 
     def forced_cracks(self, space: MappingSpace) -> int:
         """How many of the forced pairs are true identifications.
@@ -106,6 +117,7 @@ def propagate_degree_one(
         removed_item[i] = True
         removed_anon[j] = True
         for other_anon in item_adj[i] - {j}:
+            result.forbidden.setdefault(i, set()).add(other_anon)
             anon_adj[other_anon].discard(i)
             if not removed_anon[other_anon]:
                 if len(anon_adj[other_anon]) == 1:
@@ -113,6 +125,7 @@ def propagate_degree_one(
                 elif not anon_adj[other_anon]:
                     result.infeasible = True
         for other_item in anon_adj[j] - {i}:
+            result.forbidden.setdefault(other_item, set()).add(j)
             item_adj[other_item].discard(j)
             if not removed_item[other_item]:
                 if len(item_adj[other_item]) == 1:

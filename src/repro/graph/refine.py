@@ -1,0 +1,471 @@
+"""Forced/forbidden edge refinement of the consistency graph.
+
+Degree-1 propagation (Figure 7) only sees locally-forced edges.  This
+module classifies *every* edge of the bipartite consistency graph
+``G = (J + I, E)`` into the taxonomy of Torra & Stokes' compatible
+probabilities:
+
+* **forced** — the edge belongs to every perfect matching (the hacker
+  identifies the pair with certainty);
+* **forbidden** — the edge belongs to no perfect matching (the pairing
+  can be ruled out even though the belief admits it);
+* **undecided** — the edge belongs to some but not all matchings.
+
+The classification is the classic Dulmage–Mendelsohn / Régin
+alldifferent filtering: fix one perfect matching ``M`` (Hopcroft–Karp),
+build the residual digraph on items with an arc ``u -> v`` whenever
+item ``u`` has an edge to ``M(v)``, and take strongly connected
+components.  A matching edge is forced iff its item is a singleton SCC;
+a non-matching edge survives in some matching iff its endpoints share
+an SCC.  When no perfect matching exists at all, a Hall-condition
+witness (a set ``S`` of items with ``|N(S)| < |S|``) certifies
+infeasibility.
+
+Two propagation fronts complement the exact classification:
+
+* :func:`propagate_degree_k` — generalized degree-``k`` elimination
+  ("naked subsets"): ``m <= k`` nodes whose candidate sets all fit
+  inside one witness node's candidate set of size ``m`` reserve those
+  candidates, so every outside edge into the set is forbidden.
+  ``k = 1`` degenerates to Figure 7's degree-1 cascade.
+* :func:`reduced_blocks` — connected components of the *undecided*
+  subgraph, which is what the exact engine actually has to count over
+  once forced pairs and forbidden edges are peeled off (removing them
+  changes neither the permanent nor the surviving marginals).
+
+Everything here is exact integer arithmetic and deterministic
+(ascending-index iteration throughout); all loops poll an optional
+:class:`~repro.budget.ComputeBudget`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.budget import ComputeBudget
+from repro.errors import GraphError
+from repro.graph.bipartite import MappingSpace
+from repro.graph.blocks import Block, _UnionFind
+from repro.graph.matching import hopcroft_karp
+
+__all__ = [
+    "EdgeClassification",
+    "DegreeKResult",
+    "classify_adjacency",
+    "classify_edges",
+    "propagate_degree_k",
+    "reduced_blocks",
+]
+
+#: Mirrors the guard of :func:`repro.graph.propagation.propagate_degree_one`.
+_DEFAULT_MAX_EDGES = 5_000_000
+
+FORCED = "forced"
+FORBIDDEN = "forbidden"
+UNDECIDED = "undecided"
+NON_EDGE = "non-edge"
+
+
+@dataclass(frozen=True)
+class EdgeClassification:
+    """Complete forced/forbidden/undecided partition of a graph's edges.
+
+    Attributes
+    ----------
+    n:
+        Domain size (items on each side).
+    forced:
+        Item -> anon pairs present in every perfect matching.  Empty
+        when the graph is infeasible.
+    undecided:
+        Per item, the anon indices whose edges appear in some but not
+        all perfect matchings.
+    forbidden:
+        Per item, the anon indices whose edges appear in *no* perfect
+        matching.  When the whole graph is infeasible every edge is
+        classified forbidden.
+    infeasible:
+        True when no perfect matching exists (Hall's condition fails).
+    hall_witness:
+        When infeasible, a set ``S`` of item indices with
+        ``|N(S)| < |S|`` certifying it; ``None`` otherwise.
+    reason:
+        Human-readable account of the infeasibility, when any.
+    """
+
+    n: int
+    forced: dict[int, int]
+    undecided: tuple[frozenset[int], ...]
+    forbidden: tuple[frozenset[int], ...]
+    infeasible: bool
+    hall_witness: tuple[int, ...] | None = None
+    reason: str | None = None
+
+    @property
+    def n_forced(self) -> int:
+        return len(self.forced)
+
+    @property
+    def n_forbidden(self) -> int:
+        return sum(len(anons) for anons in self.forbidden)
+
+    @property
+    def n_undecided(self) -> int:
+        return sum(len(anons) for anons in self.undecided)
+
+    def status(self, item_index: int, anon_index: int) -> str:
+        """One of ``"forced"``, ``"forbidden"``, ``"undecided"``, ``"non-edge"``."""
+        if self.forced.get(item_index) == anon_index:
+            return FORCED
+        if anon_index in self.forbidden[item_index]:
+            return FORBIDDEN
+        if anon_index in self.undecided[item_index]:
+            return UNDECIDED
+        return NON_EDGE
+
+    def forced_cracks(self, space: MappingSpace) -> int:
+        """Forced pairs coinciding with the ground truth — certain cracks."""
+        return sum(1 for i, j in self.forced.items() if space.true_partner(i) == j)
+
+
+def _normalized_rows(
+    adjacency: Sequence[Iterable[int]],
+) -> tuple[list[frozenset[int]], int]:
+    n = len(adjacency)
+    rows: list[frozenset[int]] = []
+    edges = 0
+    for i, row in enumerate(adjacency):
+        fs = frozenset(int(j) for j in row)
+        if any(not 0 <= j < n for j in fs):
+            raise GraphError(f"adjacency of item #{i} references an invalid index")
+        rows.append(fs)
+        edges += len(fs)
+    return rows, edges
+
+
+def _hall_witness(
+    rows: Sequence[frozenset[int]],
+    match_left: Sequence[int],
+    match_right: Sequence[int],
+    budget: ComputeBudget | None,
+) -> tuple[int, ...]:
+    """König-style witness: items alternating-reachable from a free item.
+
+    The returned set ``S`` satisfies ``|N(S)| = |S| - (free items in S)``,
+    hence ``|N(S)| < |S|`` whenever the matching is not perfect.
+    """
+    n = len(rows)
+    reachable = [False] * n
+    queue: deque[int] = deque()
+    for u in range(n):
+        if match_left[u] == -1:
+            reachable[u] = True
+            queue.append(u)
+    while queue:
+        if budget is not None:
+            budget.checkpoint()
+        u = queue.popleft()
+        for j in sorted(rows[u]):
+            w = match_right[j]
+            if w != -1 and not reachable[w]:
+                reachable[w] = True
+                queue.append(w)
+    return tuple(u for u in range(n) if reachable[u])
+
+
+def _strongly_connected_components(
+    arcs: Sequence[Sequence[int]], budget: ComputeBudget | None
+) -> list[int]:
+    """Component id per node, via iterative Tarjan (deterministic ids)."""
+    n = len(arcs)
+    unvisited = -1
+    index_of = [unvisited] * n
+    low_link = [0] * n
+    on_stack = [False] * n
+    component = [unvisited] * n
+    stack: list[int] = []
+    counter = 0
+    n_components = 0
+    for root in range(n):
+        if index_of[root] != unvisited:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            if budget is not None:
+                budget.checkpoint()
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                index_of[node] = low_link[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            children = arcs[node]
+            for pos in range(child_pos, len(children)):
+                child = children[pos]
+                if index_of[child] == unvisited:
+                    work[-1] = (node, pos + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child] and index_of[child] < low_link[node]:
+                    low_link[node] = index_of[child]
+            if advanced:
+                continue
+            work.pop()
+            if low_link[node] == index_of[node]:
+                while True:
+                    if budget is not None:
+                        budget.checkpoint()
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component[member] = n_components
+                    if member == node:
+                        break
+                n_components += 1
+            if work:
+                parent = work[-1][0]
+                if low_link[node] < low_link[parent]:
+                    low_link[parent] = low_link[node]
+    return component
+
+
+def classify_adjacency(
+    adjacency: Sequence[Iterable[int]],
+    budget: ComputeBudget | None = None,
+) -> EdgeClassification:
+    """Classify every edge of an explicit bipartite adjacency.
+
+    ``adjacency[i]`` lists the anon indices item ``i`` may map to; the
+    graph is square (``n_right = len(adjacency)``).
+    """
+    rows, _ = _normalized_rows(adjacency)
+    n = len(rows)
+    if budget is not None:
+        budget.poll()
+    match_left, match_right, size = hopcroft_karp([sorted(row) for row in rows], n)
+    if size < n:
+        witness = _hall_witness(rows, match_left, match_right, budget)
+        neighbourhood: set[int] = set()
+        for u in witness:
+            neighbourhood |= rows[u]
+        return EdgeClassification(
+            n=n,
+            forced={},
+            undecided=tuple(frozenset() for _ in range(n)),
+            forbidden=tuple(rows),
+            infeasible=True,
+            hall_witness=witness,
+            reason=(
+                f"Hall's condition fails: {len(witness)} items share only "
+                f"{len(neighbourhood)} candidates"
+            ),
+        )
+
+    # Residual digraph on items: u -> v iff u has an edge into v's
+    # matched anon.  Edge classification reads off its SCCs.
+    owner = match_right  # anon j is held by item owner[j]
+    arcs: list[list[int]] = []
+    for u in range(n):
+        if budget is not None:
+            budget.checkpoint(weight=len(rows[u]))
+        targets = {owner[j] for j in rows[u]}
+        targets.discard(u)
+        arcs.append(sorted(targets))
+    component = _strongly_connected_components(arcs, budget)
+    component_size = [0] * n
+    for u in range(n):
+        component_size[component[u]] += 1
+
+    forced: dict[int, int] = {}
+    undecided: list[frozenset[int]] = []
+    forbidden: list[frozenset[int]] = []
+    for u in range(n):
+        if budget is not None:
+            budget.checkpoint(weight=len(rows[u]))
+        free: set[int] = set()
+        banned: set[int] = set()
+        for j in rows[u]:
+            v = owner[j]
+            if v == u:
+                if component_size[component[u]] == 1:
+                    forced[u] = j
+                else:
+                    free.add(j)
+            elif component[u] == component[v]:
+                free.add(j)
+            else:
+                banned.add(j)
+        undecided.append(frozenset(free))
+        forbidden.append(frozenset(banned))
+    return EdgeClassification(
+        n=n,
+        forced=forced,
+        undecided=tuple(undecided),
+        forbidden=tuple(forbidden),
+        infeasible=False,
+    )
+
+
+def classify_edges(
+    space: MappingSpace,
+    budget: ComputeBudget | None = None,
+    max_edges: int = _DEFAULT_MAX_EDGES,
+) -> EdgeClassification:
+    """Classify every edge of a mapping space (explicit or frequency).
+
+    Builds an explicit adjacency first, guarded by *max_edges* exactly
+    like :func:`repro.graph.propagation.propagate_degree_one`.
+    """
+    total_edges = space.edge_count()
+    if total_edges > max_edges:
+        raise GraphError(
+            f"edge classification needs an explicit adjacency; {total_edges} "
+            f"edges exceed the {max_edges}-edge guard (raise max_edges to override)"
+        )
+    return classify_adjacency(
+        [tuple(space.candidates(i)) for i in range(space.n)], budget=budget
+    )
+
+
+@dataclass(frozen=True)
+class DegreeKResult:
+    """Outcome of generalized degree-``k`` (naked-subset) propagation.
+
+    Attributes
+    ----------
+    forced:
+        Item -> anon pairs pinned by singleton subsets (``k = 1``).
+    removed:
+        Edges ``(item, anon)`` proven forbidden by subset reservation,
+        in ascending order.
+    adjacency:
+        The pruned item-side adjacency after the fixpoint.
+    infeasible:
+        True when some reserved subset was over-subscribed (more nodes
+        than candidates) or a node ran out of candidates.
+    """
+
+    forced: dict[int, int]
+    removed: tuple[tuple[int, int], ...]
+    adjacency: tuple[frozenset[int], ...]
+    infeasible: bool
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed)
+
+
+def propagate_degree_k(
+    adjacency: Sequence[Iterable[int]],
+    k: int = 3,
+    budget: ComputeBudget | None = None,
+) -> DegreeKResult:
+    """Naked-subset elimination up to subsets of size *k*, both sides.
+
+    Whenever the candidate set ``S`` of some node has ``|S| = m <= k``
+    and exactly ``m`` nodes keep all their candidates inside ``S``,
+    those ``m`` nodes reserve ``S``: every other node's edge into ``S``
+    is forbidden.  With ``k = 1`` this is precisely Figure 7's degree-1
+    propagation; larger ``k`` also resolves e.g. twin items sharing a
+    2-candidate pool.  Runs to a fixpoint, alternating sides;
+    deterministic and exact.
+    """
+    if k < 1:
+        raise GraphError(f"degree-k propagation needs k >= 1, got {k}")
+    rows, _ = _normalized_rows(adjacency)
+    n = len(rows)
+    item_adj: list[set[int]] = [set(row) for row in rows]
+    anon_adj: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in item_adj[i]:
+            anon_adj[j].add(i)
+
+    forced: dict[int, int] = {}
+    removed: set[tuple[int, int]] = set()
+    infeasible = False
+    changed = True
+    while changed and not infeasible:
+        if budget is not None:
+            budget.poll()
+        changed = False
+        for side_is_item in (True, False):
+            near = item_adj if side_is_item else anon_adj
+            far = anon_adj if side_is_item else item_adj
+            witnesses: dict[frozenset[int], int] = {}
+            for u in range(n):
+                if budget is not None:
+                    budget.checkpoint()
+                if 0 < len(near[u]) <= k:
+                    witnesses.setdefault(frozenset(near[u]), u)
+                elif not near[u]:
+                    infeasible = True
+            for pool in sorted(witnesses, key=sorted):
+                if budget is not None:
+                    budget.checkpoint(weight=n)
+                members = [u for u in range(n) if near[u] and near[u] <= pool]
+                if len(members) > len(pool):
+                    infeasible = True
+                    break
+                if len(members) < len(pool):
+                    continue
+                member_set = set(members)
+                for v in sorted(pool):
+                    for u in sorted(far[v] - member_set):
+                        edge = (u, v) if side_is_item else (v, u)
+                        removed.add(edge)
+                        near[u].discard(v)
+                        far[v].discard(u)
+                        changed = True
+                        if not near[u]:
+                            infeasible = True
+            if infeasible:
+                break
+
+    for i in range(n):
+        if len(item_adj[i]) == 1:
+            (j,) = item_adj[i]
+            if len(anon_adj[j]) == 1:
+                forced[i] = j
+    return DegreeKResult(
+        forced=forced,
+        removed=tuple(sorted(removed)),
+        adjacency=tuple(frozenset(row) for row in item_adj),
+        infeasible=infeasible,
+    )
+
+
+def reduced_blocks(classification: EdgeClassification) -> tuple[Block, ...]:
+    """Connected components of the *undecided* subgraph.
+
+    Forced pairs and forbidden edges are peeled off first — removing
+    them changes neither the matching count nor the surviving items'
+    marginals, so these blocks are exactly what an exact engine still
+    has to count over.  Items whose edges are all decided do not appear
+    in any block.
+    """
+    n = classification.n
+    uf = _UnionFind(2 * n)
+    active = [False] * n
+    for i, anons in enumerate(classification.undecided):
+        for j in anons:
+            uf.union(i, n + j)
+            active[i] = True
+    components: dict[int, tuple[list[int], list[int]]] = {}
+    for i in range(n):
+        if active[i]:
+            items, _ = components.setdefault(uf.find(i), ([], []))
+            items.append(i)
+    for j in range(n):
+        anons_holder = components.get(uf.find(n + j))
+        if anons_holder is not None:
+            anons_holder[1].append(j)
+    blocks: list[Block] = []
+    for _, (items, anons) in sorted(components.items()):
+        if items:
+            blocks.append(
+                Block(item_indices=tuple(items), anon_indices=tuple(anons))
+            )
+    return tuple(blocks)

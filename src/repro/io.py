@@ -27,7 +27,7 @@ from repro.budget import PartialEstimate
 from repro.core.oestimate import OEstimateResult
 from repro.data.database import FrequencyProfile
 from repro.errors import FormatError
-from repro.recipe.assess import Decision, RiskAssessment
+from repro.recipe.assess import AttackSummary, Decision, RiskAssessment
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -51,7 +51,11 @@ PathLike = Union[str, Path]
 #: version 1 (the pre-versioning format) and still load.
 #: Version 3 added the ``INCONCLUSIVE`` decision and the
 #: ``partial_estimate`` block (deadline-aware anytime assessment).
-SCHEMA_VERSION = 3
+#: Version 4 added the ``attack`` block — ``forced_pairs``,
+#: ``certified_cracks`` and the ``solver_reduction`` sub-object from the
+#: attacker workbench (:mod:`repro.attack.solver`).  Version-3 payloads
+#: still load; the field simply reads back as ``None``.
+SCHEMA_VERSION = 4
 
 
 def _check_schema(payload: dict) -> None:
@@ -171,7 +175,35 @@ def assessment_to_json(assessment: RiskAssessment) -> dict:
         "partial_estimate": None
         if assessment.partial_estimate is None
         else assessment.partial_estimate.to_json(),
+        "attack": None
+        if assessment.attack is None
+        else {
+            "forced_pairs": assessment.attack.forced_pairs,
+            "certified_cracks": assessment.attack.certified_cracks,
+            "solver_reduction": {
+                "forbidden_edges": assessment.attack.forbidden_edges,
+                "largest_block_before": assessment.attack.largest_block_before,
+                "largest_block_after": assessment.attack.largest_block_after,
+            },
+        },
     }
+
+
+def _attack_from_json(raw: object) -> AttackSummary | None:
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise FormatError(f"malformed attack block: {raw!r}")
+    reduction = raw.get("solver_reduction")
+    if not isinstance(reduction, dict):
+        raise FormatError(f"malformed solver_reduction block: {reduction!r}")
+    return AttackSummary(
+        forced_pairs=int(raw["forced_pairs"]),
+        certified_cracks=int(raw["certified_cracks"]),
+        forbidden_edges=int(reduction["forbidden_edges"]),
+        largest_block_before=int(reduction["largest_block_before"]),
+        largest_block_after=int(reduction["largest_block_after"]),
+    )
 
 
 def assessment_from_json(payload: dict) -> RiskAssessment:
@@ -218,6 +250,7 @@ def assessment_from_json(payload: dict) -> RiskAssessment:
         partial_estimate=None
         if payload.get("partial_estimate") is None
         else PartialEstimate.from_json(payload["partial_estimate"]),
+        attack=_attack_from_json(payload.get("attack")),
     )
 
 

@@ -33,7 +33,7 @@ from repro.data.frequency import FrequencyGroups
 from repro.errors import BudgetExceeded, GraphError, InfeasibleMatchingError, RecipeError
 from repro.graph.bipartite import FrequencyMappingSpace, space_from_frequencies
 
-__all__ = ["Decision", "RiskAssessment", "assess_risk"]
+__all__ = ["AttackSummary", "Decision", "RiskAssessment", "assess_risk"]
 
 #: The interval rung upgrades from the O-estimate to the exact engine
 #: when the plan's cost hint stays below this (see
@@ -78,6 +78,73 @@ def _try_exact_interval(
         return float(marginals.sum()), plan.strategy
     indices = [space.item_index(x) for x in interest]
     return float(marginals[indices].sum()), plan.strategy
+
+
+@dataclass(frozen=True)
+class AttackSummary:
+    """What the attacker workbench certifies about the interval rung.
+
+    Produced by the solver's exact edge classification
+    (:mod:`repro.graph.refine`): ``forced_pairs`` edges are in *every*
+    consistent mapping, of which ``certified_cracks`` coincide with the
+    ground truth — a hacker with the interval belief identifies that
+    many items with certainty, no matter which consistent mapping they
+    pick.  The reduction fields record how much the solver shrinks the
+    exact engine's problem (see ``docs/attack.md``).
+    """
+
+    forced_pairs: int
+    certified_cracks: int
+    forbidden_edges: int
+    largest_block_before: int
+    largest_block_after: int
+
+
+#: Edge guard for the attack summary: classification needs an explicit
+#: adjacency, and the summary is an enrichment, never worth a blow-up.
+ATTACK_SUMMARY_MAX_EDGES = 2_000_000
+
+
+def _attack_summary(
+    space: FrequencyMappingSpace,
+    budget: ComputeBudget | None = None,
+) -> AttackSummary | None:
+    """Solver-certified attack facts for the interval rung, or ``None``.
+
+    Skipped (returning ``None``) when the graph is too large for an
+    explicit adjacency or the compute budget runs out — like the exact
+    enrichment, the summary degrades to absent rather than failing the
+    assessment.
+    """
+    from repro.graph.blocks import decompose
+    from repro.graph.refine import classify_edges, reduced_blocks
+
+    try:
+        classification = classify_edges(
+            space, budget=budget, max_edges=ATTACK_SUMMARY_MAX_EDGES
+        )
+    except BudgetExceeded:
+        return None
+    except GraphError:
+        return None
+    decomposition = decompose(space)
+    before = decomposition.largest_block
+    if classification.infeasible:
+        return AttackSummary(
+            forced_pairs=0,
+            certified_cracks=0,
+            forbidden_edges=classification.n_forbidden,
+            largest_block_before=before,
+            largest_block_after=0,
+        )
+    after = max((block.n for block in reduced_blocks(classification)), default=0)
+    return AttackSummary(
+        forced_pairs=classification.n_forced,
+        certified_cracks=classification.forced_cracks(space),
+        forbidden_edges=classification.n_forbidden,
+        largest_block_before=before,
+        largest_block_after=after,
+    )
 
 
 class Decision(enum.Enum):
@@ -132,6 +199,11 @@ class RiskAssessment:
         When the compute budget ran out mid-recipe, the best bounded
         estimate reached before exhaustion (with its standard error and
         ladder rung); ``None`` for a complete assessment.
+    attack:
+        The attacker workbench's certified facts for the interval-rung
+        space (forced pairs, solver-certified minimum cracks, and the
+        solver reduction); ``None`` when the recipe stopped at the
+        point-valued rung or the summary was skipped.
     """
 
     decision: Decision
@@ -146,6 +218,7 @@ class RiskAssessment:
     exact_cracks: float | None = None
     exact_strategy: str | None = None
     partial_estimate: PartialEstimate | None = None
+    attack: AttackSummary | None = None
 
     @property
     def disclose(self) -> bool:
@@ -180,6 +253,12 @@ class RiskAssessment:
             lines.append(
                 f"exact expected cracks = {self.exact_cracks:.4f} "
                 f"(strategy: {self.exact_strategy})"
+            )
+        if self.attack is not None:
+            lines.append(
+                f"solver-certified cracks = {self.attack.certified_cracks} "
+                f"({self.attack.forced_pairs} forced pairs, "
+                f"{self.attack.forbidden_edges} forbidden edges)"
             )
         if self.alpha_max is not None:
             lines.append(f"alpha_max = {self.alpha_max:.3f}")
@@ -280,6 +359,7 @@ def assess_risk(
     # usually do — see docs/exact.md), exposing the O-estimate's bias.
     estimate = o_estimate(space, interest=interest)
     exact_cracks, exact_strategy_name = _try_exact_interval(space, interest, budget)
+    attack = _attack_summary(space, budget)
     if estimate.value <= tolerance * basis:
         return RiskAssessment(
             decision=Decision.DISCLOSE_INTERVAL,
@@ -291,6 +371,7 @@ def assess_risk(
             interest=interest,
             exact_cracks=exact_cracks,
             exact_strategy=exact_strategy_name,
+            attack=attack,
         )
 
     # Steps 8-9: search for the largest tolerable degree of compliancy.
@@ -321,6 +402,7 @@ def assess_risk(
             exact_cracks=exact_cracks,
             exact_strategy=exact_strategy_name,
             partial_estimate=partial,
+            attack=attack,
         )
     return RiskAssessment(
         decision=Decision.ALPHA_BOUND,
@@ -334,4 +416,5 @@ def assess_risk(
         runs=runs,
         exact_cracks=exact_cracks,
         exact_strategy=exact_strategy_name,
+        attack=attack,
     )

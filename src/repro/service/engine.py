@@ -41,7 +41,12 @@ from repro.data.database import FrequencyProfile, FrequencySource
 from repro.data.frequency import FrequencyGroups
 from repro.errors import BudgetExceeded, RecipeError, ReproError
 from repro.graph.bipartite import FrequencyMappingSpace, space_from_frequencies
-from repro.recipe.assess import Decision, RiskAssessment, _try_exact_interval
+from repro.recipe.assess import (
+    Decision,
+    RiskAssessment,
+    _attack_summary,
+    _try_exact_interval,
+)
 from repro.service.breaker import CircuitBreaker
 from repro.service.cache import AssessmentCache
 from repro.service.faults import fault_point
@@ -536,6 +541,8 @@ class AssessmentEngine:
             self.metrics.increment(f"exact:{exact_strategy_name}")
         else:
             self.metrics.increment("exact_skipped")
+        with self.metrics.timer("stage:attack"):
+            attack = _attack_summary(space, budget)
         if estimate.value <= tolerance * basis:
             return RiskAssessment(
                 decision=Decision.DISCLOSE_INTERVAL,
@@ -547,6 +554,7 @@ class AssessmentEngine:
                 interest=interest,
                 exact_cracks=exact_cracks,
                 exact_strategy=exact_strategy_name,
+                attack=attack,
             )
 
         # Steps 8-9: largest tolerable degree of compliancy, with the
@@ -583,6 +591,7 @@ class AssessmentEngine:
                 exact_cracks=exact_cracks,
                 exact_strategy=exact_strategy_name,
                 partial_estimate=partial,
+                attack=attack,
             )
         return RiskAssessment(
             decision=Decision.ALPHA_BOUND,
@@ -596,4 +605,5 @@ class AssessmentEngine:
             runs=params.runs,
             exact_cracks=exact_cracks,
             exact_strategy=exact_strategy_name,
+            attack=attack,
         )

@@ -18,6 +18,13 @@ Endpoints
     ``Retry-After`` header when the deadline expired before *anything*
     was ready.
 
+``POST /crack/step``
+    The streaming attacker workbench (see :mod:`repro.service.crack`):
+    open a solver session with an ``instance`` payload, then stream
+    ``observations`` into it by ``session`` id.  Response:
+    ``{"session", "events", "summary", "closed"}`` with the newly
+    decided forced/forbidden edges as JSONL-shaped event objects.
+
 ``GET /healthz``
     Liveness probe; reports the package version.
 
@@ -71,6 +78,7 @@ from repro.service.admission import (
 )
 from repro.service.breaker import CircuitOpenError
 from repro.service.budget import request_budget
+from repro.service.crack import CrackSessionStore
 from repro.service.engine import AssessmentEngine
 from repro.service.fingerprint import AssessmentParams
 
@@ -102,6 +110,7 @@ class AssessmentServer(ThreadingHTTPServer):
             if admission is None
             else admission
         )
+        self.crack_sessions = CrackSessionStore()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         super().__init__(address, _AssessmentHandler)
@@ -228,6 +237,9 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         with self.server.tracked_request():
+            if self.path == "/crack/step":
+                self._crack_step()
+                return
             if self.path != "/assess":
                 self._reply_error(404, "NotFound", f"unknown path {self.path}")
                 return
@@ -316,6 +328,27 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
                     "assessment": assessment_to_json(outcome.assessment),
                 },
             )
+
+    def _crack_step(self) -> None:
+        """One ``POST /crack/step`` move against the solver session store."""
+        metrics = self.server.engine.metrics
+        try:
+            payload = self._read_json_body()
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._reply_error(400, type(exc).__name__, str(exc))
+            return
+        try:
+            with metrics.timer("crack:step"):
+                result = self.server.crack_sessions.step(payload)
+        except ReproError as exc:
+            self._reply_error(422, type(exc).__name__, str(exc))
+            return
+        except Exception as exc:
+            metrics.increment("http_500")
+            self._reply_error(500, type(exc).__name__, str(exc))
+            return
+        metrics.increment("crack_steps")
+        self._reply(200, result)
 
 
 def make_server(

@@ -90,3 +90,75 @@ class TestMain:
         )
         assert code == 0
         assert "protection plan" not in capsys.readouterr().out
+
+
+class TestCrackCli:
+    def test_smoke_gate(self, capsys):
+        from repro.cli import crack_main
+
+        assert crack_main(["--smoke"]) == 0
+        assert "smoke ok" in capsys.readouterr().out
+
+    def test_requires_instance(self, capsys):
+        from repro.cli import crack_main
+
+        assert crack_main([]) == 2
+        assert "--instance" in capsys.readouterr().err
+
+    def test_watch_requires_observations(self, capsys):
+        from repro.cli import crack_main
+
+        assert crack_main(["--instance", "x.json", "--watch"]) == 2
+        assert "--watch" in capsys.readouterr().err
+
+    def test_streams_events_from_files(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import crack_main
+
+        instance = tmp_path / "instance.json"
+        instance.write_text(
+            json.dumps(
+                {
+                    "adjacency": [[0], [0, 1], [0, 1, 2], [0, 1, 2, 3]],
+                    "truth": [0, 1, 2, 3],
+                }
+            )
+        )
+        feed = tmp_path / "observations.jsonl"
+        feed.write_text(
+            '{"kind": "confirm", "item": 3, "anon": 3}\n{"kind": "close"}\n'
+        )
+        assert crack_main(
+            ["--instance", str(instance), "--observations", str(feed)]
+        ) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        forced = [e for e in lines if e["event"] == "forced"]
+        assert [(e["item"], e["anon"]) for e in forced] == [(0, 0), (1, 1), (2, 2), (3, 3)]
+        assert all(e["crack"] for e in forced)
+        summaries = [e for e in lines if e["event"] == "summary"]
+        assert summaries and summaries[-1]["counts"]["undecided"] == 0
+
+    def test_missing_instance_file_reported(self, tmp_path, capsys):
+        from repro.cli import crack_main
+
+        assert crack_main(["--instance", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_observation_line_reported(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import crack_main
+
+        instance = tmp_path / "instance.json"
+        instance.write_text(json.dumps({"adjacency": [[0, 1], [0, 1]]}))
+        feed = tmp_path / "observations.jsonl"
+        feed.write_text('{"kind": "wat"}\n')
+        assert crack_main(
+            ["--instance", str(instance), "--observations", str(feed)]
+        ) == 1
+        assert "observation" in capsys.readouterr().err

@@ -348,3 +348,61 @@ class TestBlockDecomposition:
         decomposition = decompose(space)
         assert not decomposition.matchable
         assert count_matchings_exact(space) == 0
+
+
+class TestSolverPreprocessing:
+    """exact_strategy(preprocess=True): the workbench shrinks the plan."""
+
+    def test_staircase_plan_is_pure_propagation(self, staircase_space):
+        plan = exact_strategy(staircase_space, preprocess=True)
+        assert plan.strategy == "propagation"
+        assert plan.preprocessed
+        assert plan.forced_pairs == 4
+        assert plan.forbidden_edges == 6
+        assert plan.largest_block == 0
+        assert plan.largest_block_raw == 4
+        assert plan.feasible and plan.matchable
+
+    def test_two_blocks_largest_block_strictly_shrinks(self, two_blocks_space):
+        plain = exact_strategy(two_blocks_space)
+        pre = exact_strategy(two_blocks_space, preprocess=True)
+        assert pre.preprocessed
+        assert pre.largest_block_raw == plain.largest_block
+        assert pre.largest_block < plain.largest_block
+        assert pre.forbidden_edges >= 1  # the (2', 3) edge of Figure 6(b)
+
+    def test_preprocessed_counts_and_marginals_agree(self, two_blocks_space):
+        space = two_blocks_space
+        assert count_matchings_exact(space, preprocess=True) == count_matchings_exact(space)
+        np.testing.assert_allclose(
+            crack_marginals_exact(space, preprocess=True),
+            crack_marginals_exact(space),
+        )
+        assert expected_cracks_exact(space, preprocess=True) == pytest.approx(
+            expected_cracks_exact(space)
+        )
+
+    def test_preprocessed_agrees_on_frequency_space(self, bigmart_space_h):
+        space = bigmart_space_h
+        plain = exact_strategy(space)
+        pre = exact_strategy(space, preprocess=True)
+        # The feasible interval-DP plan survives unless strictly beaten,
+        # but the reduction stats ride along either way.
+        assert pre.preprocessed
+        assert pre.largest_block_raw == plain.largest_block
+        assert count_matchings_exact(space, preprocess=True) == count_matchings_exact(space)
+        np.testing.assert_allclose(
+            crack_marginals_exact(space, preprocess=True),
+            crack_marginals_exact(space),
+        )
+
+    def test_infeasible_instance_reported(self):
+        space = ExplicitMappingSpace(
+            items=(1, 2, 3),
+            anonymized=("a", "b", "c"),
+            adjacency=[[0, 1], [0, 1], [0, 1]],
+            true_partner_of=[0, 1, 2],
+        )
+        plan = exact_strategy(space, preprocess=True)
+        assert not plan.matchable
+        assert plan.preprocessed

@@ -95,3 +95,51 @@ class TestFiles:
         path.write_text("{not json")
         with pytest.raises(FormatError, match="invalid JSON"):
             load_json(path)
+
+
+class TestAttackBlock:
+    def _report(self):
+        from repro.recipe.assess import AttackSummary, Decision, RiskAssessment
+
+        return RiskAssessment(
+            decision=Decision.DISCLOSE_INTERVAL,
+            tolerance=0.2,
+            n_items=4,
+            g=3,
+            delta=0.01,
+            attack=AttackSummary(
+                forced_pairs=2,
+                certified_cracks=2,
+                forbidden_edges=3,
+                largest_block_before=4,
+                largest_block_after=2,
+            ),
+        )
+
+    def test_attack_round_trip(self):
+        payload = assessment_to_json(self._report())
+        assert payload["schema_version"] == 4
+        assert payload["attack"]["forced_pairs"] == 2
+        assert payload["attack"]["solver_reduction"]["largest_block_after"] == 2
+        assert assessment_from_json(payload) == self._report()
+
+    def test_version_3_payload_still_loads(self):
+        payload = assessment_to_json(self._report())
+        del payload["attack"]
+        payload["schema_version"] = 3
+        restored = assessment_from_json(payload)
+        assert restored.attack is None
+        assert restored.decision == self._report().decision
+
+    def test_malformed_attack_block_rejected(self):
+        payload = assessment_to_json(self._report())
+        payload["attack"] = {"forced_pairs": 1}
+        with pytest.raises(FormatError, match="solver_reduction"):
+            assessment_from_json(payload)
+
+    def test_recipe_output_carries_attack(self):
+        profile = FrequencyProfile({i: 10 * i for i in range(1, 9)}, 500)
+        report = assess_risk(profile, tolerance=0.05, rng=np.random.default_rng(1))
+        payload = assessment_to_json(report)
+        restored = assessment_from_json(payload)
+        assert restored.attack == report.attack

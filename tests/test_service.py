@@ -454,3 +454,77 @@ class TestProtectSkipNote:
         code = main(["--benchmark", "chess", "--tolerance", "1.0", "--protect", "bin"])
         assert code == 0
         assert "protection skipped" in capsys.readouterr().out
+
+
+class TestCrackEndpoint:
+    STAIRCASE = [[0], [0, 1], [0, 1, 2], [0, 1, 2, 3]]
+
+    def test_open_stream_close(self, live_server):
+        status, reply = _post(
+            f"{live_server}/crack/step",
+            {"instance": {"adjacency": self.STAIRCASE, "truth": [0, 1, 2, 3]}},
+        )
+        assert status == 200
+        assert reply["summary"]["forced"] == 4
+        assert reply["summary"]["certified_cracks"] == 4
+        forced = [e for e in reply["events"] if e["event"] == "forced"]
+        assert [e["anon"] for e in forced] == [0, 1, 2, 3]
+        assert all(e["crack"] for e in forced)
+
+        session = reply["session"]
+        status, reply = _post(
+            f"{live_server}/crack/step",
+            {
+                "session": session,
+                "observations": [
+                    {"kind": "confirm", "item": 0, "anon": 0},
+                    {"kind": "close"},
+                ],
+            },
+        )
+        assert status == 200
+        assert reply["closed"]
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{live_server}/crack/step", {"session": session})
+        with excinfo.value as error:
+            assert error.code == 422
+            body = json.loads(error.read())
+        assert body["error"]["type"] == "SolverError"
+
+    def test_contradiction_turns_infeasible(self, live_server):
+        status, reply = _post(
+            f"{live_server}/crack/step",
+            {"instance": {"adjacency": self.STAIRCASE}},
+        )
+        session = reply["session"]
+        status, reply = _post(
+            f"{live_server}/crack/step",
+            {
+                "session": session,
+                "observations": [{"kind": "confirm", "item": 1, "anon": 0}],
+            },
+        )
+        assert status == 200
+        assert reply["summary"]["infeasible"]
+        assert [e["event"] for e in reply["events"]] == ["infeasible"]
+
+    def test_malformed_requests(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{live_server}/crack/step", {"instance": {"adjacency": []}})
+        with excinfo.value as error:
+            assert error.code == 422
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{live_server}/crack/step", {})
+        with excinfo.value as error:
+            assert error.code == 422
+
+
+class TestAttackSummaryParity:
+    def test_engine_attack_matches_recipe(self, profile):
+        from repro.recipe import assess_risk
+
+        outcome = AssessmentEngine().assess(profile, 0.01)
+        direct = assess_risk(profile, 0.01)
+        assert outcome.assessment.attack == direct.attack
+        assert outcome.assessment.attack is not None
