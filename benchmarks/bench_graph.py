@@ -31,7 +31,7 @@ from repro.graph import (
     exact_strategy,
     space_from_frequencies,
 )
-from repro.graph.permanent import _ryser
+from repro.graph.permanent import ryser_int_python as _ryser
 from repro.simulation.gibbs import GibbsAssignmentSampler
 
 FULL_SIZES = (12, 18, 50, 200, 1000)
@@ -315,6 +315,127 @@ def bench_exact_engine(sizes, check: bool) -> list[dict]:
     return rows
 
 
+def legacy_block_expected(space) -> float:
+    """The pre-batching explicit-block path: one pure-Python Ryser walk
+    per block total and per item minor (what ``crack_marginals_exact``
+    did before the vectorized kernels)."""
+    from repro.graph.blocks import decompose
+    from repro.graph.exact import _block_adjacency
+
+    expected = 0.0
+    for block in decompose(space).blocks:
+        matrix = _block_adjacency(space, block)
+        total = _ryser(matrix)
+        anon_local = {j: r for r, j in enumerate(block.anon_indices)}
+        for c, i in enumerate(block.item_indices):
+            j = space.true_partner(i)
+            row = anon_local.get(j)
+            if row is None or matrix[row, c] == 0:
+                continue
+            minor = np.delete(np.delete(matrix, row, axis=0), c, axis=1)
+            expected += _ryser(minor) / total
+    return expected
+
+
+def bench_kernels(smoke: bool, check: bool) -> dict:
+    """Before/after trajectory for the vectorized exact kernels.
+
+    Three headline rows: chunked numpy Ryser vs the pure-Python walk on
+    single matrices, the batched block engine vs the per-block loop on
+    the n=200 explicit workload, and a 20-tolerance assessment sweep
+    with and without the DP/engine memo layer.
+    """
+    from repro.data.database import FrequencyProfile
+    from repro.graph.intervaldp import clear_dp_memo
+    from repro.graph.kernels import ryser_int_chunked
+    from repro.io import assessment_to_json
+    from repro.service.engine import AssessmentEngine
+
+    rng = np.random.default_rng(7)
+    chunked_rows = []
+    for n in (8, 10, 12) if smoke else (12, 14, 16, 18):
+        matrix = rng.integers(0, 2, size=(n, n))
+        pure, pure_s = time_call(_ryser, matrix)
+        vec, vec_s = time_call(ryser_int_chunked, matrix)
+        if check:
+            assert pure == vec, f"n={n}: chunked Ryser {vec} != pure {pure}"
+        chunked_rows.append(
+            {
+                "n": n,
+                "pure_python_s": pure_s,
+                "chunked_s": vec_s,
+                "speedup": pure_s / vec_s if vec_s > 0 else None,
+            }
+        )
+        print(
+            f"  chunked-ryser n={n}: pure {pure_s:.4f}s, chunked {vec_s:.4f}s "
+            f"({chunked_rows[-1]['speedup']:.1f}x)"
+        )
+
+    n_block = 50 if smoke else 200
+    space = explicit_block_instance(n_block, block_size=10, seed=n_block)
+    legacy_expected, legacy_s = time_call(legacy_block_expected, space)
+    marginals, batched_s = time_call(crack_marginals_exact, space)
+    batched_expected = float(marginals.sum())
+    if check:
+        assert abs(legacy_expected - batched_expected) < 1e-9, (
+            f"batched block marginals {batched_expected} != legacy {legacy_expected}"
+        )
+    block_row = {
+        "n": n_block,
+        "legacy_expected_s": legacy_s,
+        "batched_expected_s": batched_s,
+        "speedup": legacy_s / batched_s if batched_s > 0 else None,
+        "expected_cracks": batched_expected,
+    }
+    print(
+        f"  block-ryser n={n_block}: legacy {legacy_s:.4f}s, batched "
+        f"{batched_s:.4f}s ({block_row['speedup']:.1f}x)"
+    )
+
+    n_sweep, n_groups = (80, 16) if smoke else (200, 40)
+    counts = {f"item{i}": 10 + (i % n_groups) * 20 for i in range(n_sweep)}
+    profile = FrequencyProfile(counts, 1000)
+    tolerances = [round(0.01 + 0.005 * t, 6) for t in range(5 if smoke else 20)]
+
+    def run_sweep(reuse: bool) -> tuple[list[dict], float]:
+        engine = AssessmentEngine(reuse_exact_intermediates=reuse)
+        clear_dp_memo()
+        start = time.perf_counter()
+        outcomes = []
+        for tolerance in tolerances:
+            if not reuse:
+                # Emulate the pre-memo engine: every tolerance re-solves
+                # the DP from scratch.
+                clear_dp_memo()
+            outcomes.append(engine.assess(profile, tolerance, runs=3, seed=0))
+        elapsed = time.perf_counter() - start
+        return [assessment_to_json(o.assessment) for o in outcomes], elapsed
+
+    baseline_results, baseline_s = run_sweep(reuse=False)
+    memo_results, memo_s = run_sweep(reuse=True)
+    if check:
+        assert memo_results == baseline_results, (
+            "sweep results changed under the DP/engine memo"
+        )
+    sweep_row = {
+        "n": n_sweep,
+        "tolerances": len(tolerances),
+        "baseline_s": baseline_s,
+        "memo_s": memo_s,
+        "speedup": baseline_s / memo_s if memo_s > 0 else None,
+    }
+    print(
+        f"  sweep n={n_sweep} x{len(tolerances)} tolerances: baseline "
+        f"{baseline_s:.4f}s, memo {memo_s:.4f}s ({sweep_row['speedup']:.1f}x)"
+    )
+    return {
+        "chunked_ryser": chunked_rows,
+        "block_ryser_batched": block_row,
+        "sweep_reuse": sweep_row,
+    }
+
+
 def bench_gibbs(n: int, sweeps: int) -> dict:
     # Few wide groups put ~n/20 flexible items on every boundary — the
     # regime where the vectorized sweep pays off over the Python loop.
@@ -364,10 +485,25 @@ def main(argv=None) -> int:
         (6, 10) if args.smoke else (12, 50, 200), check=True
     )
     gibbs = bench_gibbs(n=200 if args.smoke else 1000, sweeps=5 if args.smoke else 20)
+    print("vectorized kernels and sweep memo:")
+    kernels = bench_kernels(smoke=args.smoke, check=True)
 
     if args.smoke:
+        committed = Path(args.output)
+        if committed.exists():
+            snapshot = json.loads(committed.read_text())
+            assert "kernels" in snapshot, (
+                f"{committed} lacks the 'kernels' section — regenerate with a "
+                "full benchmark run"
+            )
+            print(f"committed {committed.name} has the kernels section")
         print("smoke OK: all strategies agree")
         return 0
+
+    # Acceptance floors for the recorded trajectory: the batched block
+    # engine and the sweep memo must beat the legacy paths decisively.
+    assert kernels["block_ryser_batched"]["speedup"] >= 2.0, kernels
+    assert kernels["sweep_reuse"]["speedup"] >= 3.0, kernels
 
     report = {
         "benchmark": "bench_graph",
@@ -376,6 +512,7 @@ def main(argv=None) -> int:
         "block_ryser": block_rows,
         "solver_preprocess": preprocess_rows,
         "gibbs_sweep": gibbs,
+        "kernels": kernels,
     }
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

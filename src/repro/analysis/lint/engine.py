@@ -70,6 +70,7 @@ PathLike = Union[str, Path]
 EXACT_MODULES = frozenset(
     {
         "repro.graph.permanent",
+        "repro.graph.kernels",
         "repro.graph.intervaldp",
         "repro.graph.blocks",
         "repro.graph.exact",

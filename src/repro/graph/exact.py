@@ -352,14 +352,29 @@ def _block_adjacency(space: MappingSpace, block: Block) -> np.ndarray:
     return matrix
 
 
-def _ryser_count(
-    space: MappingSpace, block: Block, limit: int, budget: DPBudget = DEFAULT_BUDGET
-) -> int:
-    from repro.graph.permanent import permanent
+def _batched_permanents(matrices: list[np.ndarray], budget: DPBudget) -> list[int]:
+    """Exact permanents of small integral block matrices, batched by shape.
 
-    return int(
-        permanent(_block_adjacency(space, block), limit=limit, budget=budget.compute)
-    )
+    Equal-shape matrices (the common case: a decomposed space yields many
+    blocks of one size, and every item minor inside a block shares one
+    shape) are evaluated in a single 3-D tensor Gray-code pass
+    (:func:`repro.graph.kernels.permanent_batch`) instead of one Python
+    Ryser walk each.  Results are bit-identical to per-matrix
+    :func:`repro.graph.permanent.permanent` on connected blocks.
+    """
+    from repro.graph.kernels import permanent_batch
+
+    by_shape: dict[tuple[int, ...], list[int]] = {}
+    for index, matrix in enumerate(matrices):
+        by_shape.setdefault(matrix.shape, []).append(index)
+    results = [0] * len(matrices)
+    for indices in by_shape.values():
+        values = permanent_batch(
+            [matrices[i] for i in indices], budget=budget.compute
+        )
+        for i, value in zip(indices, values):
+            results[i] = value
+    return results
 
 
 def _frequency_block_count(
@@ -404,17 +419,17 @@ def count_matchings_exact(
     """
     limit = RYSER_BLOCK_LIMIT if limit is None else int(limit)
     if preprocess:
-        from repro.graph.permanent import permanent
         from repro.graph.refine import reduced_blocks
 
         classification = _classify(space, budget)
         if classification.infeasible:
             return 0
-        total = 1
+        matrices = []
         for block in reduced_blocks(classification):
             _require_ryser_block(block, limit)
-            matrix = _classification_matrix(classification, block)
-            matchings = int(permanent(matrix, limit=limit, budget=budget.compute))
+            matrices.append(_classification_matrix(classification, block))
+        total = 1
+        for matchings in _batched_permanents(matrices, budget):
             if matchings == 0:
                 return 0
             total *= matchings
@@ -423,12 +438,17 @@ def count_matchings_exact(
     if not decomposition.matchable:
         return 0
     total = 1
+    explicit_matrices = []
     for block in decomposition.blocks:
         if isinstance(space, FrequencyMappingSpace):
             _, matchings = _frequency_block_count(space, block, budget)
+            if matchings == 0:
+                return 0
+            total *= matchings
         else:
             _require_ryser_block(block, limit)
-            matchings = _ryser_count(space, block, limit, budget=budget)
+            explicit_matrices.append(_block_adjacency(space, block))
+    for matchings in _batched_permanents(explicit_matrices, budget):
         if matchings == 0:
             return 0
         total *= matchings
@@ -475,28 +495,36 @@ def _frequency_block_marginals(
         )
 
 
-def _explicit_block_marginals(
+def _explicit_marginals_batched(
     space: MappingSpace,
-    block: Block,
+    block_matrices: list[tuple[Block, np.ndarray]],
     marginals: np.ndarray,
-    limit: int,
-    budget: DPBudget = DEFAULT_BUDGET,
+    budget: DPBudget,
 ) -> None:
-    from repro.graph.permanent import permanent
+    """Fill marginals for explicit blocks, batching equal-shape permanents.
 
-    _require_ryser_block(block, limit)
-    matrix = _block_adjacency(space, block)
-    total = permanent(matrix, limit=limit, budget=budget.compute)
-    if total == 0:
-        raise InfeasibleMatchingError("no consistent perfect matching exists")
-    anon_local = {j: r for r, j in enumerate(block.anon_indices)}
-    for c, i in enumerate(block.item_indices):
-        j = space.true_partner(i)
-        row = anon_local.get(j)
-        if row is None or matrix[row, c] == 0:
-            continue
-        minor = np.delete(np.delete(matrix, row, axis=0), c, axis=1)
-        marginals[i] = permanent(minor, limit=limit, budget=budget.compute) / total  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
+    Each block needs its total permanent plus one minor permanent per
+    item whose true edge survives; totals and minors across *all* blocks
+    are grouped by shape and evaluated in single tensor passes — for a
+    decomposed space with many same-size blocks this replaces hundreds
+    of scalar Ryser walks with a handful of batched ones.
+    """
+    totals = _batched_permanents([m for _, m in block_matrices], budget)
+    minor_items: list[tuple[int, int]] = []  # (block index, item index)
+    minors: list[np.ndarray] = []
+    for b, (block, matrix) in enumerate(block_matrices):
+        if totals[b] == 0:
+            raise InfeasibleMatchingError("no consistent perfect matching exists")
+        anon_local = {j: r for r, j in enumerate(block.anon_indices)}
+        for c, i in enumerate(block.item_indices):
+            j = space.true_partner(i)
+            row = anon_local.get(j)
+            if row is None or matrix[row, c] == 0:
+                continue
+            minor_items.append((b, i))
+            minors.append(np.delete(np.delete(matrix, row, axis=0), c, axis=1))
+    for (b, i), value in zip(minor_items, _batched_permanents(minors, budget)):
+        marginals[i] = value / totals[b]  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
 
 
 def _classified_marginals(
@@ -507,26 +535,17 @@ def _classified_marginals(
     budget: DPBudget,
 ) -> None:
     """Marginals over the solver-reduced blocks (plus the forced pairs)."""
-    from repro.graph.permanent import permanent
     from repro.graph.refine import reduced_blocks
 
     for i, j in classification.forced.items():
         if space.true_partner(i) == j:
             marginals[i] = 1  # a forced true edge is a certain crack
+    block_matrices = []
     for block in reduced_blocks(classification):
         _require_ryser_block(block, limit)
-        matrix = _classification_matrix(classification, block)
-        total = permanent(matrix, limit=limit, budget=budget.compute)
-        if total == 0:
-            raise InfeasibleMatchingError("no consistent perfect matching exists")
-        anon_local = {j: r for r, j in enumerate(block.anon_indices)}
-        for c, i in enumerate(block.item_indices):
-            j = space.true_partner(i)
-            row = anon_local.get(j)
-            if row is None or matrix[row, c] == 0:
-                continue
-            minor = np.delete(np.delete(matrix, row, axis=0), c, axis=1)
-            marginals[i] = permanent(minor, limit=limit, budget=budget.compute) / total  # repro-lint: disable=EX002 -- probability boundary: exact-count ratio becomes P(crack)
+        block_matrices.append((block, _classification_matrix(classification, block)))
+    if block_matrices:
+        _explicit_marginals_batched(space, block_matrices, marginals, budget)
 
 
 def crack_marginals_exact(
@@ -555,11 +574,15 @@ def crack_marginals_exact(
     decomposition = decompose(space)
     if not decomposition.matchable:
         raise InfeasibleMatchingError("no consistent perfect matching exists")
+    explicit: list[tuple[Block, np.ndarray]] = []
     for block in decomposition.blocks:
         if isinstance(space, FrequencyMappingSpace):
             _frequency_block_marginals(space, block, marginals, budget)
         else:
-            _explicit_block_marginals(space, block, marginals, limit, budget=budget)
+            _require_ryser_block(block, limit)
+            explicit.append((block, _block_adjacency(space, block)))
+    if explicit:
+        _explicit_marginals_batched(space, explicit, marginals, budget)
     return marginals
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from repro.budget import ComputeBudget
 from repro.errors import GraphError, InfeasibleMatchingError
 from repro.graph.bipartite import MappingSpace
+from repro.graph.kernels import ryser_int, ryser_int_python
 
 __all__ = [
     "permanent",
@@ -40,6 +41,17 @@ __all__ = [
 
 _PERMANENT_LIMIT = 22
 _ENUMERATION_LIMIT = 12
+
+#: Above this size the O(2^n) walk dominates the O(n^2) union-find, so
+#: ``permanent`` always tries the block split first (a block-diagonal
+#: matrix then pays per-block walks instead of one full-width walk).
+_SPLIT_MIN = 6
+
+#: Pure-Python exact-int Ryser (reference path, no block split).  Kept
+#: under the historical private name for tests and benchmarks; the
+#: production integral path dispatches through the vectorized
+#: :func:`repro.graph.kernels.ryser_int`.
+_ryser_int = ryser_int_python
 
 
 def _matrix_blocks(matrix: np.ndarray) -> list[tuple[list[int], list[int]]]:
@@ -110,80 +122,34 @@ def permanent(
 
     def ryser(block: np.ndarray) -> int | float:
         if integral:
-            return _ryser_int(block, budget=budget)
+            return ryser_int(block, budget=budget)
         return _ryser_float(block, budget=budget)
 
     if n == 0:
         return 1 if integral else 1.0  # repro-lint: disable=EX001 -- weighted-path identity
-    if n > cap:
-        blocks = _matrix_blocks(matrix)
-        if any(len(rows) != len(cols) for rows, cols in blocks):
-            # Some rows can only use fewer columns: no permutation survives.
-            return 0 if integral else 0.0  # repro-lint: disable=EX001 -- weighted-path zero
-        largest = max(len(rows) for rows, _ in blocks)
-        if largest > cap:
-            raise GraphError(
-                f"permanent of a {n}x{n} matrix is infeasible: its largest "
-                f"connected block has {largest} rows (Ryser limit {cap}). "
-                "Pass limit= to accept the cost, or use exact_strategy / "
-                "count_matchings_exact (block-ryser, interval-dp) — or the "
-                "O-estimate or the simulator"
-            )
-        result = ryser(matrix[np.ix_(*blocks[0])])
-        for rows, cols in blocks[1:]:
-            if result == 0:
-                return result
-            result = result * ryser(matrix[np.ix_(rows, cols)])
-        return result
-    return ryser(matrix)
-
-
-def _ryser(matrix: np.ndarray) -> int | float:
-    """Single-block Ryser, dispatched on integrality (no block split)."""
-    matrix = np.asarray(matrix)
-    return _ryser_int(matrix) if _is_integral(matrix) else _ryser_float(matrix)
-
-
-def _ryser_int(matrix: np.ndarray, budget: ComputeBudget | None = None) -> int:
-    """Ryser's formula in exact Python-int arithmetic.
-
-    perm(A) = (-1)^n * sum over non-empty column subsets S of
-    (-1)^|S| * prod_i sum_{j in S} a[i, j].  Gray-code iteration keeps a
-    running row-sum vector so each subset costs O(n); arbitrary-precision
-    ints make the alternating sum exact where the float version loses
-    digits to cancellation.
-    """
-    n = matrix.shape[0]
-    if n == 0:
-        return 1
-    columns = [[int(value) for value in matrix[:, j]] for j in range(n)]
-    row_sums = [0] * n
-    total = 0
-    subset = 0
-    subset_size = 0
-    for counter in range(1, 1 << n):
-        if budget is not None and not (counter & 255):
-            budget.checkpoint(256)
-        flip = (counter & -counter).bit_length() - 1  # lowest set bit of counter
-        bit = 1 << flip
-        column = columns[flip]
-        if subset & bit:
-            for i in range(n):
-                row_sums[i] -= column[i]
-            subset_size -= 1
-        else:
-            for i in range(n):
-                row_sums[i] += column[i]
-            subset_size += 1
-        subset ^= bit
-        product = 1
-        for value in row_sums:
-            if value == 0:
-                product = 0
-                break
-            product *= value
-        total += -product if subset_size % 2 else product
-    return total if n % 2 == 0 else -total
+    if n <= _SPLIT_MIN:
+        return ryser(matrix)
+    blocks = _matrix_blocks(matrix)
+    if any(len(rows) != len(cols) for rows, cols in blocks):
+        # Some rows can only use fewer columns: no permutation survives.
+        return 0 if integral else 0.0  # repro-lint: disable=EX001 -- weighted-path zero
+    largest = max(len(rows) for rows, _ in blocks)
+    if largest > cap:
+        raise GraphError(
+            f"permanent of a {n}x{n} matrix is infeasible: its largest "
+            f"connected block has {largest} rows (Ryser limit {cap}). "
+            "Pass limit= to accept the cost, or use exact_strategy / "
+            "count_matchings_exact (block-ryser, interval-dp) — or the "
+            "O-estimate or the simulator"
+        )
+    if len(blocks) == 1:
+        return ryser(matrix)
+    result = ryser(matrix[np.ix_(*blocks[0])])
+    for rows, cols in blocks[1:]:
+        if result == 0:
+            return result
+        result = result * ryser(matrix[np.ix_(rows, cols)])
+    return result
 
 
 def _ryser_float(matrix: np.ndarray, budget: ComputeBudget | None = None) -> float:  # repro-lint: disable-function=EX001,EX004 -- weighted boundary: real-valued matrices have no exact-int representation

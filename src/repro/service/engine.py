@@ -42,6 +42,7 @@ from repro.data.frequency import FrequencyGroups
 from repro.errors import BudgetExceeded, RecipeError, ReproError
 from repro.graph.bipartite import FrequencyMappingSpace, space_from_frequencies
 from repro.recipe.assess import (
+    AttackSummary,
     Decision,
     RiskAssessment,
     _attack_summary,
@@ -147,6 +148,13 @@ class AssessmentEngine:
         fresh :class:`~repro.service.breaker.CircuitBreaker` sharing the
         engine's metrics.  Pool workers are separate processes and are
         deliberately outside the breaker.
+    reuse_exact_intermediates:
+        Memoize the exact-engine marginals and the attack summary per
+        ``(profile, delta, interest)``.  Both depend only on the space —
+        not on the tolerance — so a tolerance sweep re-derives the
+        decision per tolerance while solving the hard counting problems
+        once.  On by default; disable to force every request to re-solve
+        (benchmarking, memory-constrained deployments).
     """
 
     def __init__(
@@ -156,16 +164,24 @@ class AssessmentEngine:
         max_profiles: int = 16,
         max_spaces: int = 8,
         breaker: CircuitBreaker | None = None,
+        reuse_exact_intermediates: bool = True,
     ) -> None:
         self.cache = AssessmentCache() if cache is None else cache
         self.metrics = ServiceMetrics() if metrics is None else metrics
         self.breaker = (
             CircuitBreaker(metrics=self.metrics) if breaker is None else breaker
         )
+        self.reuse_exact_intermediates = reuse_exact_intermediates
         self._profiles: _LRU[str, tuple[dict[Any, float], FrequencyGroups]] = _LRU(
             max_profiles
         )
         self._spaces: _LRU[tuple[str, float], FrequencyMappingSpace] = _LRU(max_spaces)
+        self._exact: _LRU[
+            tuple[str, float, frozenset[Any] | None], tuple[float | None, str | None]
+        ] = _LRU(max_spaces * 4)
+        self._attacks: _LRU[tuple[str, float], AttackSummary | None] = _LRU(
+            max_spaces * 4
+        )
         # id() -> (profile, fingerprint).  Holding the profile keeps its
         # id() valid for as long as the entry lives, so re-assessing the
         # same object (sweeps, repeated server hits) skips the content
@@ -264,6 +280,7 @@ class AssessmentEngine:
         retries: int = 2,
         backoff_seconds: float = 0.05,
         timeout_seconds: float | None = None,
+        deadline_seconds: float | None = None,
     ) -> list[BatchResult]:
         """Answer a batch, optionally fanned out across processes.
 
@@ -277,11 +294,18 @@ class AssessmentEngine:
         times with exponential backoff, on the serial path and inside
         the pool alike.  *timeout_seconds* caps each pool job's
         wall-clock time (measured from submission; serial jobs cannot be
-        preempted and ignore it).
+        preempted and ignore it).  *deadline_seconds* attaches a
+        per-job cooperative :class:`~repro.budget.ComputeBudget` on the
+        serial path: computations degrade to INCONCLUSIVE partial
+        results near the deadline, retry backoff never sleeps past it,
+        and partial results are not cached.
         """
         if workers <= 1:
             return [
-                self._assess_job(index, source, params, retries, backoff_seconds)
+                self._assess_job(
+                    index, source, params, retries, backoff_seconds,
+                    deadline_seconds=deadline_seconds,
+                )
                 for index, (source, params) in enumerate(requests)
             ]
 
@@ -334,6 +358,7 @@ class AssessmentEngine:
         params: AssessmentParams,
         retries: int,
         backoff_seconds: float,
+        deadline_seconds: float | None = None,
     ) -> BatchResult:
         """One serial batch slot: single-flight cache + retry, error captured."""
         start = time.perf_counter()
@@ -355,15 +380,36 @@ class AssessmentEngine:
                 elapsed_seconds=time.perf_counter() - start,
             )
 
+        budget = (
+            None
+            if deadline_seconds is None
+            else ComputeBudget(seconds=deadline_seconds)
+        )
+
         def compute() -> RiskAssessment:
             self.metrics.increment("computed")
             with self.metrics.timer("assess"):
                 return self._compute_with_retries(
-                    profile, params, fingerprint, retries, backoff_seconds, attempts
+                    profile, params, fingerprint, retries, backoff_seconds,
+                    attempts, budget=budget,
                 )
 
         try:
-            assessment, origin = self.cache.get_or_compute(fingerprint, compute)
+            if budget is None:
+                assessment, origin = self.cache.get_or_compute(fingerprint, compute)
+            else:
+                # Deadline-bearing slots mirror assess_request: skip the
+                # single-flight rendezvous (another request's deadline is
+                # not ours) and never cache a partial result.
+                hit = self.cache.get(fingerprint)
+                if hit is not None:
+                    assessment, origin = hit, "cache"
+                else:
+                    assessment, origin = compute(), "computed"
+                    if not assessment.partial:
+                        self.cache.put(fingerprint, assessment)
+                    else:
+                        self.metrics.increment("partial_results")
         except Exception as exc:  # per-job capture, batch survives
             self.metrics.increment("errors")
             return BatchResult(
@@ -395,7 +441,8 @@ class AssessmentEngine:
         fingerprint: str,
         retries: int,
         backoff_seconds: float,
-        attempts: list[str] | None = None,
+        attempts: list[int] | None = None,
+        budget: ComputeBudget | None = None,
     ) -> RiskAssessment:
         """Run :meth:`_compute`, retrying transient failures with backoff.
 
@@ -405,20 +452,34 @@ class AssessmentEngine:
         to *retries* times.  Determinism of the result is unaffected:
         the RNG seed derives from the fingerprint, so a retried job
         produces byte-identical output.
+
+        With a deadline-bearing *budget*, the exponential backoff never
+        oversleeps the remaining deadline: each sleep is capped by what
+        is left, and when nothing is left the last failure is re-raised
+        immediately instead of burning the caller's budget in
+        ``time.sleep`` (the computation itself still degrades through
+        :meth:`_compute`'s usual partial-estimate path).
         """
         attempt = 0
         while True:
             if attempts is not None:
                 attempts[0] = attempt + 1
             try:
-                return self._compute(profile, params, fingerprint)
+                return self._compute(profile, params, fingerprint, budget=budget)
             except ReproError:
                 raise
             except Exception:
                 if attempt >= retries:
                     raise
+                delay = backoff_seconds * (2**attempt)
+                if budget is not None:
+                    remaining = budget.remaining_seconds()
+                    if remaining is not None:
+                        if remaining <= 0:
+                            raise
+                        delay = min(delay, remaining)
                 self.metrics.increment("retries")
-                time.sleep(backoff_seconds * (2**attempt))
+                time.sleep(delay)
                 attempt += 1
 
     def sweep_tolerance(
@@ -532,17 +593,43 @@ class AssessmentEngine:
             budget.poll()
         with self.metrics.timer("stage:oestimate"):
             estimate = o_estimate(space, interest=interest)
-        with self.metrics.timer("stage:exact"):
-            exact_cracks, exact_strategy_name = _try_exact_interval(
-                space, interest, budget
-            )
+        exact_key = (profile_key, delta, interest)
+        exact_state = (
+            self._exact.get(exact_key) if self.reuse_exact_intermediates else None
+        )
+        if exact_state is not None:
+            exact_cracks, exact_strategy_name = exact_state
+            self.metrics.increment("exact_memo_hits")
+        else:
+            with self.metrics.timer("stage:exact"):
+                exact_cracks, exact_strategy_name = _try_exact_interval(
+                    space, interest, budget
+                )
+            # A (None, None) under a deadline may be budget-caused, not a
+            # property of the instance — only memoize what a budget-free
+            # run would also have produced.
+            if self.reuse_exact_intermediates and (
+                budget is None or exact_strategy_name is not None
+            ):
+                self._exact.put(exact_key, (exact_cracks, exact_strategy_name))
         if exact_strategy_name is not None:
             self.metrics.increment("exact_served")
             self.metrics.increment(f"exact:{exact_strategy_name}")
         else:
             self.metrics.increment("exact_skipped")
-        with self.metrics.timer("stage:attack"):
-            attack = _attack_summary(space, budget)
+        attack_key = (profile_key, delta)
+        attack = (
+            self._attacks.get(attack_key) if self.reuse_exact_intermediates else None
+        )
+        if attack is None:
+            with self.metrics.timer("stage:attack"):
+                attack = _attack_summary(space, budget)
+            if self.reuse_exact_intermediates and (
+                budget is None or attack is not None
+            ):
+                self._attacks.put(attack_key, attack)
+        else:
+            self.metrics.increment("attack_memo_hits")
         if estimate.value <= tolerance * basis:
             return RiskAssessment(
                 decision=Decision.DISCLOSE_INTERVAL,

@@ -38,7 +38,7 @@ from repro.graph.intervaldp import (
     class_pin_counts,
     class_placement_totals,
 )
-from repro.graph.permanent import _ryser
+from repro.graph.permanent import ryser_int_python as _ryser
 from repro.simulation import best_expected_cracks
 
 
