@@ -20,6 +20,9 @@ Examples::
     repro-assess --benchmark mushroom --save-assessment decision.json
     repro-batch manifest.json --workers 4 --output results.jsonl
     repro-serve --port 8080 --cache-dir /var/cache/repro
+    repro-serve --async --cache-dir /var/cache/repro --shared-cache
+    repro-loadgen --flavors threaded,async --connections 8,64
+    repro-loadgen --smoke
     repro-crack --instance staircase.json < observations.jsonl
     repro-crack --instance release.json --observations feed.jsonl --watch
     repro-crack --smoke
@@ -56,6 +59,8 @@ __all__ = [
     "build_batch_parser",
     "serve_main",
     "build_serve_parser",
+    "loadgen_main",
+    "build_loadgen_parser",
     "crack_main",
     "build_crack_parser",
 ]
@@ -567,6 +572,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="inject faults from a JSON schedule ({\"rules\": [...]}, see "
         "docs/service.md) — for robustness testing only",
     )
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve from a single asyncio event loop (keep-alive + "
+        "pipelining, engine work on a bounded thread executor) instead "
+        "of one thread per connection",
+    )
+    parser.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="treat --cache-dir as a tier shared by several replica "
+        "processes: cold computes are single-flighted across processes "
+        "through lease files",
+    )
     return parser
 
 
@@ -586,8 +606,37 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     try:
         schedule = None if args.faults is None else load_schedule(args.faults)
         engine = AssessmentEngine(
-            cache=AssessmentCache(capacity=args.capacity, directory=args.cache_dir)
+            cache=AssessmentCache(
+                capacity=args.capacity,
+                directory=args.cache_dir,
+                shared=args.shared_cache,
+            )
         )
+        if args.use_async:
+            from repro.service.aio import serve_async
+
+            banner = (
+                f"repro-serve {package_version()} listening on "
+                f"http://{args.host}:{{port}}"
+            )
+            with injected_faults(schedule) if schedule is not None else nullcontext():
+                serve_async(
+                    host=args.host,
+                    port=args.port,
+                    engine=engine,
+                    quiet=not args.verbose,
+                    grace_seconds=args.grace,
+                    max_inflight=args.max_inflight,
+                    max_queue=args.max_queue,
+                    banner=banner,
+                )
+            if schedule is not None:
+                print(
+                    f"fault injection: {len(schedule.events)} event(s) fired",
+                    file=sys.stderr,
+                )
+            print("shutting down")
+            return 0
         server = make_server(
             host=args.host,
             port=args.port,
@@ -612,6 +661,216 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
     print("shutting down")
+    return 0
+
+
+# -- repro-loadgen ----------------------------------------------------------
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    """The ``repro-loadgen`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Replayable load harness for the serving stack: drives "
+        "real repro-serve subprocesses (threaded or --async, 1..N replicas) "
+        "with seeded Zipf-skewed traffic and appends the measured cells to "
+        "the BENCH_service.json trajectory.",
+    )
+    _add_version_flag(parser)
+    parser.add_argument(
+        "--flavors",
+        default="threaded,async",
+        help="comma-separated server flavors to measure (default both)",
+    )
+    parser.add_argument(
+        "--connections",
+        default="8,64",
+        help="comma-separated concurrency levels per cell (default 8,64)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=4.0,
+        metavar="SECONDS",
+        help="measured window per cell (default 4.0)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="server processes per throughput cell (default 1)",
+    )
+    parser.add_argument(
+        "--profiles",
+        type=int,
+        default=50,
+        help="distinct request fingerprints in the workload (default 50)",
+    )
+    parser.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="Zipf skew exponent of the fingerprint popularity (default 1.1)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=1_000_000,
+        help="cap on requests per connection (default: duration-bounded)",
+    )
+    parser.add_argument(
+        "--no-shared-trial",
+        action="store_true",
+        help="skip the 2-replica shared-cache cold-race trial",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="forward a fault schedule to every server replica",
+    )
+    parser.add_argument(
+        "--label",
+        default="full",
+        help="label recorded with this run in the trajectory",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="BENCH_service.json path (default: repo root next to src/)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run of both flavors + a shared-cache race; asserts the "
+        "committed BENCH_service.json has a trajectory, writes nothing",
+    )
+    return parser
+
+
+def _default_bench_path():
+    from pathlib import Path
+
+    return Path(repro.__file__).resolve().parent.parent.parent / "BENCH_service.json"
+
+
+def loadgen_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-loadgen``; returns a process exit code."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.loadgen import (
+        ReplicaPool,
+        WorkloadSpec,
+        append_trajectory,
+        run_cell,
+        run_shared_cache_trial,
+    )
+
+    args = build_loadgen_parser().parse_args(argv)
+    flavors = [f.strip() for f in args.flavors.split(",") if f.strip()]
+    connections = [int(c) for c in args.connections.split(",") if c.strip()]
+    if args.smoke:
+        flavors = ["threaded", "async"]
+        connections = [2]
+        spec = WorkloadSpec(profiles=6, zipf_s=args.zipf, seed=args.seed)
+        duration = 1.0
+    else:
+        spec = WorkloadSpec(
+            profiles=args.profiles, zipf_s=args.zipf, seed=args.seed
+        )
+        duration = args.duration
+
+    cells = []
+    try:
+        for flavor in flavors:
+            with ReplicaPool(
+                count=args.replicas, flavor=flavor, faults=args.faults
+            ) as pool:
+                for concurrency in connections:
+                    cell = run_cell(
+                        pool,
+                        spec,
+                        connections=concurrency,
+                        duration_seconds=duration,
+                        max_requests_per_connection=args.requests,
+                    )
+                    cells.append(cell)
+                    print(
+                        f"{cell.flavor} x{cell.replicas} c={cell.connections}: "
+                        f"{cell.rps:.0f} rps, p50 {cell.p50_ms:.2f} ms, "
+                        f"p99 {cell.p99_ms:.2f} ms, shed {cell.shed_rate:.1%}, "
+                        f"hit {cell.cache_hit_ratio:.1%}",
+                        flush=True,
+                    )
+
+        shared_trial = None
+        if not args.no_shared_trial:
+            with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+                shared_trial = run_shared_cache_trial(
+                    Path(tmp) / "cache",
+                    WorkloadSpec(
+                        profiles=spec.profiles, zipf_s=0.2, seed=spec.seed
+                    ),
+                    replicas=2,
+                    connections=4 if args.smoke else 8,
+                    flavor="threaded",
+                    duration_seconds=2.0 if args.smoke else duration,
+                )
+            print(
+                f"shared-cache x{shared_trial['replicas']}: "
+                f"{shared_trial['computed_total']} computes for "
+                f"{shared_trial['fingerprints']} fingerprints "
+                f"(per replica {shared_trial['computed_per_replica']}), "
+                f"coalesced {shared_trial['lease_coalesced']}",
+                flush=True,
+            )
+            if shared_trial["computed_total"] > shared_trial["fingerprints"]:
+                print(
+                    "error: shared-cache trial recomputed a fingerprint "
+                    f"({shared_trial['computed_total']} computes > "
+                    f"{shared_trial['fingerprints']} fingerprints)",
+                    file=sys.stderr,
+                )
+                return 1
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    for cell in cells:
+        if cell.client_errors or any(
+            code >= 400 for code in cell.statuses if code != 429
+        ):
+            print(
+                f"error: cell {cell.flavor}/c={cell.connections} saw "
+                f"client_errors={cell.client_errors} statuses={cell.statuses}",
+                file=sys.stderr,
+            )
+            return 1
+
+    output = _default_bench_path() if args.output is None else Path(args.output)
+    if args.smoke:
+        if not output.exists():
+            print(f"error: {output} is not committed", file=sys.stderr)
+            return 1
+        report = json.loads(output.read_text())
+        if not report.get("trajectory"):
+            print(
+                f"error: {output} lacks a trajectory section — regenerate "
+                "with a full repro-loadgen run",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"smoke OK: both flavors served; committed {output.name} has "
+            f"{len(report['trajectory'])} trajectory record(s)"
+        )
+        return 0
+
+    append_trajectory(output, cells, shared_trial, label=args.label)
+    print(f"appended {len(cells)} cell(s) to {output}")
     return 0
 
 

@@ -20,10 +20,21 @@ parallel engine with an HTTP front end:
   fast-fails requests while the compute path is known-broken.
 * :mod:`repro.service.admission` — bounded admission control (inflight
   slots + waiting queue + load shedding) for the HTTP front end.
-* :mod:`repro.service.server` — a stdlib ``http.server`` JSON API
-  (``POST /assess``, ``GET /healthz``, ``GET /metrics``) with
-  structured errors, per-request deadlines and graceful signal-driven
-  shutdown.
+* :mod:`repro.service.routes` — the transport-agnostic route layer
+  (validation, error mapping, per-route metrics) shared by both HTTP
+  front ends.
+* :mod:`repro.service.server` — the threaded ``http.server`` JSON API
+  (``POST /assess``, ``GET /healthz``, ``GET /metrics``) with HTTP/1.1
+  keep-alive, structured errors, per-request deadlines and graceful
+  signal-driven shutdown.
+* :mod:`repro.service.aio` — the asyncio flavor of the same API
+  (``repro-serve --async``): one event loop, keep-alive + pipelining,
+  engine work on a bounded thread executor.
+* :mod:`repro.service.lease` — cross-process single-flight lease files
+  for the shared cache tier (N replicas, one directory, one compute per
+  cold fingerprint).
+* :mod:`repro.service.loadgen` — the replayable load harness behind
+  ``repro-loadgen`` and the tracked ``BENCH_service.json`` trajectory.
 * :mod:`repro.service.faults` — deterministic fault injection (errors,
   crashes, latency) for testing the layer's failure semantics.
 """
@@ -54,6 +65,7 @@ from repro.service.fingerprint import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import run_batch
+from repro.service.routes import RouteResponse, ServiceCore
 from repro.service.server import (
     AssessmentServer,
     make_server,
@@ -80,6 +92,8 @@ __all__ = [
     "MAX_DEADLINE_SECONDS",
     "PartialEstimate",
     "QueueFullError",
+    "RouteResponse",
+    "ServiceCore",
     "ServiceMetrics",
     "derived_seed",
     "request_budget",

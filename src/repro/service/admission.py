@@ -95,6 +95,16 @@ class AdmissionController:
         with self._cond:
             return self._queued
 
+    def snapshot(self) -> dict[str, int]:
+        """Queue depth and limits, for ``GET /metrics``."""
+        with self._cond:
+            return {
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+            }
+
     @contextmanager
     def admitted(self, timeout_seconds: Optional[float] = None) -> Iterator[None]:
         """Hold an inflight slot for the duration of the ``with`` block.

@@ -22,14 +22,23 @@ Durability and concurrency guarantees (see ``docs/service.md``,
 * **Transient-read tolerance** — an ``OSError`` while reading the disk
   tier is a miss (counted in ``read_errors``), not a reason to delete
   the artifact; only structurally invalid entries are invalidated.
+* **Cross-process single-flight** — with ``shared=True`` several replica
+  processes can mount one directory: a cold fingerprint is computed by
+  exactly one of them (whoever wins the ``<fingerprint>.lease`` file,
+  see :mod:`repro.service.lease`), the rest poll the artifact path with
+  backoff bounded by their own request deadline and count the artifact
+  as ``coalesced`` when it lands.  A replica that dies mid-compute
+  leaves a lease whose heartbeat goes quiet; waiters take it over once
+  it is stale.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Union
+from typing import Callable, Optional, Union
 
 from repro.errors import FormatError, ReproError
 from repro.io import (
@@ -41,10 +50,23 @@ from repro.io import (
 )
 from repro.recipe.assess import RiskAssessment
 from repro.service.faults import fault_point
+from repro.service.lease import (
+    DEFAULT_STALE_AFTER,
+    Lease,
+    LeaseState,
+    acquire_lease,
+    lease_state,
+    sweep_stale_leases,
+    take_over,
+)
 
 __all__ = ["AssessmentCache"]
 
 PathLike = Union[str, Path]
+
+#: A ``store`` predicate: return False to keep a result out of the cache
+#: (deadline-degraded partials must never be served to later requests).
+StorePredicate = Optional[Callable[[RiskAssessment], bool]]
 
 
 class _Flight:
@@ -70,13 +92,35 @@ class AssessmentCache:
         When given, every ``put`` also writes ``<fingerprint>.json``
         under it, and a memory miss falls through to disk — so a fresh
         process (or a pool worker) warm-starts from earlier runs.
+    shared:
+        Treat *directory* as a shared tier mounted by several replica
+        processes: cold computations are single-flighted **across
+        processes** through ``<fingerprint>.lease`` files (requires
+        *directory*).
+    lease_stale_seconds:
+        How long a lease may go without a heartbeat before waiters
+        consider its owner dead and take over (shared mode only).
     """
 
-    def __init__(self, capacity: int = 256, directory: PathLike | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: PathLike | None = None,
+        shared: bool = False,
+        lease_stale_seconds: float = DEFAULT_STALE_AFTER,
+    ) -> None:
         if capacity < 1:
             raise ReproError(f"cache capacity must be >= 1, got {capacity}")
+        if shared and directory is None:
+            raise ReproError("a shared cache tier needs a directory to share")
+        if lease_stale_seconds <= 0:
+            raise ReproError(
+                f"lease_stale_seconds must be > 0, got {lease_stale_seconds}"
+            )
         self.capacity = int(capacity)
         self.directory = None if directory is None else Path(directory)
+        self.shared = bool(shared)
+        self.lease_stale_seconds = float(lease_stale_seconds)
         self._lock = threading.Lock()
         # Serializes disk mutations (atomic writes vs. clear's unlinks),
         # separate from _lock so slow I/O never blocks memory lookups.
@@ -93,6 +137,11 @@ class AssessmentCache:
             "invalidated": 0,
             "read_errors": 0,
             "write_errors": 0,
+            "lease_acquired": 0,
+            "lease_coalesced": 0,
+            "lease_takeovers": 0,
+            "lease_timeouts": 0,
+            "stale_leases_swept": 0,
         }
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -119,12 +168,57 @@ class AssessmentCache:
         Exactly one thread runs *compute* per in-flight fingerprint;
         concurrent callers block and share the leader's result (or its
         exception — the request is deterministic, so theirs would have
-        failed identically).  Returns ``(assessment, origin)`` with
-        *origin* one of ``"memory"``, ``"disk"``, ``"coalesced"`` or
-        ``"computed"``.
+        failed identically).  With ``shared=True`` the same guarantee
+        extends across replica processes through the lease protocol.
+        Returns ``(assessment, origin)`` with *origin* one of
+        ``"memory"``, ``"disk"``, ``"coalesced"`` or ``"computed"``.
         """
         assessment, origin = self._lookup(fingerprint, compute=compute)
         return assessment, origin
+
+    def compute_shared(
+        self,
+        fingerprint: str,
+        compute: Callable[[], RiskAssessment],
+        timeout_seconds: float | None = None,
+        store: StorePredicate = None,
+    ) -> tuple[RiskAssessment, str]:
+        """Cross-process-coordinated compute for deadline-bearing requests.
+
+        Deadline-bearing misses deliberately skip the in-process flight
+        rendezvous (sharing another request's computation would mean
+        inheriting someone else's deadline) — but they can still share
+        the *artifact* another replica is producing: poll the disk path
+        while a live lease exists, for at most *timeout_seconds*, then
+        compute locally.  *store* decides whether the result enters the
+        cache (partial results must stay out); waiters poll the artifact
+        path, so a withheld partial simply lets the next waiter take the
+        lease and try with its own budget.
+        """
+        with self._lock:
+            cached = self._memory.get(fingerprint)
+            if cached is not None:
+                self._memory.move_to_end(fingerprint)
+                self._stats["hits"] += 1
+                self._stats["memory_hits"] += 1
+                return cached, "memory"
+        assessment = self._read_disk(fingerprint)
+        if assessment is not None:
+            with self._lock:
+                self._stats["hits"] += 1
+                self._stats["disk_hits"] += 1
+                self._store_memory(fingerprint, assessment)
+            return assessment, "disk"
+        if not self.shared:
+            with self._lock:
+                self._stats["misses"] += 1
+            assessment = compute()
+            self._maybe_store(fingerprint, assessment, store)
+            return assessment, "computed"
+        deadline = (
+            None if timeout_seconds is None else time.monotonic() + timeout_seconds
+        )
+        return self._shared_compute(fingerprint, compute, deadline, store)
 
     def put(self, fingerprint: str, assessment: RiskAssessment) -> None:
         """Insert (or refresh) an assessment under *fingerprint*.
@@ -184,16 +278,19 @@ class AssessmentCache:
                 self._stats[key] = 0
         if disk and self.directory is not None:
             with self._disk_lock:
-                for pattern in ("*.json", "*.tmp"):
+                for pattern in ("*.json", "*.tmp", "*.lease"):
                     for path in self.directory.glob(pattern):
                         path.unlink(missing_ok=True)
 
     def recover_orphans(self) -> int:
-        """Sweep ``*.tmp`` files left by a crashed writer; returns the count.
+        """Sweep crash leftovers in the directory; returns the count.
 
-        Runs automatically when a cache opens its directory.  Each orphan
-        is a write that never committed, so it is counted as
-        ``invalidated``.
+        Runs automatically when a cache opens its directory.  Two kinds
+        of debris are removed: ``*.tmp`` files (writes that never
+        committed — counted as ``invalidated``) and stale ``*.lease``
+        files (crashed replicas — counted as ``stale_leases_swept``), so
+        the first cold miss of a fresh process never waits out a dead
+        owner's staleness window.
         """
         if self.directory is None:
             return 0
@@ -202,10 +299,13 @@ class AssessmentCache:
             for path in self.directory.glob("*.tmp"):
                 path.unlink(missing_ok=True)
                 removed += 1
-        if removed:
-            with self._lock:
+            swept = sweep_stale_leases(self.directory, self.lease_stale_seconds)
+        with self._lock:
+            if removed:
                 self._stats["invalidated"] += removed
-        return removed
+            if swept:
+                self._stats["stale_leases_swept"] += swept
+        return removed + swept
 
     # -- internals --------------------------------------------------------
 
@@ -259,13 +359,15 @@ class AssessmentCache:
                 with self._lock:
                     self._stats["misses"] += 1
                 origin = "miss"
+            elif self.shared:
+                assessment, origin = self._shared_compute(
+                    fingerprint, compute, deadline=None, store=None
+                )
             else:
                 with self._lock:
                     self._stats["misses"] += 1
                 assessment = compute()
-                with self._lock:
-                    self._store_memory(fingerprint, assessment)
-                self._write_disk(fingerprint, assessment)
+                self._maybe_store(fingerprint, assessment, store=None)
                 origin = "computed"
             flight.value = assessment
             return assessment, origin
@@ -283,6 +385,112 @@ class AssessmentCache:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
             self._stats["evictions"] += 1
+
+    def _maybe_store(
+        self, fingerprint: str, assessment: RiskAssessment, store: StorePredicate
+    ) -> None:
+        """Insert a computed result into both tiers unless *store* vetoes."""
+        if store is not None and not store(assessment):
+            return
+        with self._lock:
+            self._store_memory(fingerprint, assessment)
+        self._write_disk(fingerprint, assessment)
+
+    # -- cross-process single-flight (shared tier) ------------------------
+
+    def _shared_compute(
+        self,
+        fingerprint: str,
+        compute: Callable[[], RiskAssessment],
+        deadline: float | None,
+        store: StorePredicate,
+    ) -> tuple[RiskAssessment, str]:
+        """Lease-coordinated cold-path compute against the shared tier.
+
+        Loop: poll the artifact (another replica may have finished),
+        race for the lease, classify a held lease (live waiters back
+        off; stale leases are taken over).  *deadline* — a
+        ``time.monotonic`` instant — bounds how long a waiter backs off;
+        past it the request computes locally, because answering late is
+        worse than occasionally answering twice.
+        """
+        lease_path = self._lease_path(fingerprint)
+        delay = 0.004
+        first = True
+        while True:
+            if not first:
+                assessment = self._read_disk(fingerprint)
+                if assessment is not None:
+                    with self._lock:
+                        self._stats["hits"] += 1
+                        self._stats["coalesced"] += 1
+                        self._stats["lease_coalesced"] += 1
+                        self._store_memory(fingerprint, assessment)
+                    return assessment, "coalesced"
+            first = False
+            lease = acquire_lease(lease_path)
+            if lease is None:
+                state = lease_state(lease_path, self.lease_stale_seconds)
+                if state.kind == LeaseState.STALE:
+                    lease = take_over(lease_path, self.lease_stale_seconds)
+                    if lease is not None:
+                        with self._lock:
+                            self._stats["lease_takeovers"] += 1
+                elif state.kind == LeaseState.HELD:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        with self._lock:
+                            self._stats["lease_timeouts"] += 1
+                            self._stats["misses"] += 1
+                        assessment = compute()
+                        self._maybe_store(fingerprint, assessment, store)
+                        return assessment, "computed"
+                    time.sleep(delay if remaining is None else min(delay, remaining))
+                    delay = min(delay * 2, 0.05)
+                    continue
+                # MISSING (owner released between our acquire attempt and
+                # the stat) — loop around: the artifact is probably there.
+            if lease is not None:
+                with self._lock:
+                    self._stats["lease_acquired"] += 1
+                    self._stats["misses"] += 1
+                return self._compute_with_lease(fingerprint, compute, lease, store)
+
+    def _compute_with_lease(
+        self,
+        fingerprint: str,
+        compute: Callable[[], RiskAssessment],
+        lease: Lease,
+        store: StorePredicate,
+    ) -> tuple[RiskAssessment, str]:
+        """Run *compute* while heartbeating the held *lease*.
+
+        The artifact is durably written **before** the lease is
+        released, so a waiter that observes a missing lease finds the
+        artifact on its next poll.  An ordinary exception releases the
+        lease (the computation is deterministic — a waiter retrying it
+        will fail identically, but it must be free to try); an injected
+        crash or any other ``BaseException`` leaves the lease behind,
+        heartbeat silenced, exactly like a killed process, and recovery
+        happens through stale takeover.
+        """
+        lease.start_heartbeat(max(0.05, self.lease_stale_seconds / 4.0))
+        try:
+            assessment = compute()
+        except BaseException as exc:
+            lease.stop_heartbeat()
+            if isinstance(exc, Exception):
+                lease.release()
+            raise
+        self._maybe_store(fingerprint, assessment, store)
+        lease.release()
+        return assessment, "computed"
+
+    def _lease_path(self, fingerprint: str) -> Path:
+        assert self.directory is not None  # shared mode requires a directory
+        return self.directory / f"{fingerprint}.lease"
 
     def _path(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"

@@ -250,6 +250,21 @@ class AssessmentEngine:
                 fingerprint, lambda: self.breaker.call(compute)
             )
             cached = origin != "computed"
+        elif self.cache.shared:
+            # Deadline-bearing misses still coordinate across replicas:
+            # another process's in-progress artifact can be awaited for
+            # up to the remaining budget (compute_shared falls back to a
+            # local compute past that), and a partial result is withheld
+            # from the cache by the store predicate.
+            assessment, origin = self.cache.compute_shared(
+                fingerprint,
+                lambda: self.breaker.call(compute),
+                timeout_seconds=budget.remaining_seconds(),
+                store=lambda result: not result.partial,
+            )
+            cached = origin != "computed"
+            if not cached and assessment.partial:
+                self.metrics.increment("partial_results")
         else:
             hit = self.cache.get(fingerprint)
             if hit is not None:

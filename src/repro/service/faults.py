@@ -22,6 +22,9 @@ site                      fired
 ``cache.read``            before a disk-tier read in ``AssessmentCache``
 ``cache.write.tmp``       inside the temp file, before the JSON is written
 ``cache.write.replace``   after the temp file is durable, before ``os.replace``
+``cache.lease``           before every ``*.lease`` acquisition attempt in the
+                          shared cache tier (crash here ≈ a replica dying at
+                          the moment it wins the cross-process race)
 ``engine.compute``        at the top of every (serial or worker) computation
 ``pool.job``              at the start of every pool-worker job
 ``budget.poll``           every slow-path deadline check of a request

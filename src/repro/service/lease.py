@@ -1,0 +1,305 @@
+"""Cross-process single-flight leases for the shared cache tier.
+
+Several replica processes may mount one content-addressed cache
+directory (``AssessmentCache(directory=..., shared=True)``).  When a
+cold fingerprint arrives at N replicas at once, exactly one of them
+should run the computation; the rest should wait for the artifact to
+appear on disk.  In-process that is the cache's ``_Flight`` rendezvous;
+across processes it is a *lease file*:
+
+* ``<fingerprint>.lease`` is created with ``O_CREAT | O_EXCL`` — the
+  POSIX-atomic "exactly one winner" primitive.  The winner computes,
+  writes the artifact (atomically, via ``save_json_atomic``), and
+  unlinks the lease.
+* The lease payload records the owner's pid plus a monotonically
+  increasing heartbeat counter.  :meth:`Lease.heartbeat` rewrites the
+  payload (bumping the counter and the file's mtime), so a long compute
+  keeps its lease visibly alive.
+* Waiters poll the artifact path with exponential backoff (bounded by
+  their own request deadline, when they have one) and judge the lease
+  with :func:`lease_state`: a lease whose owner pid is dead, or whose
+  mtime has not moved for ``stale_after`` seconds, is *stale* and may be
+  taken over — ``unlink`` + a fresh ``O_CREAT | O_EXCL`` attempt, which
+  itself races safely (at most one taker wins the recreate).
+
+The pid-liveness check uses ``os.kill(pid, 0)`` and therefore assumes
+replicas share a host (the intended topology: N processes, one cache
+directory, one machine).  On a network filesystem only the mtime
+staleness rule applies.
+
+Crash-realism: a lease is deliberately **not** released on
+:class:`~repro.service.faults.InjectedCrash` (or any other
+``BaseException``) — a process killed mid-compute leaves its lease file
+behind exactly like a real ``kill -9``, and recovery happens through
+stale-lease takeover, not through ``finally`` blocks a dead process
+would never have run.  The ``cache.lease`` fault site fires on every
+acquisition attempt so that schedule-driven tests can kill an owner at
+the exact moment it wins the race.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ReproError
+from repro.service.faults import fault_point
+
+__all__ = [
+    "Lease",
+    "LeaseInfo",
+    "LeaseState",
+    "acquire_lease",
+    "lease_state",
+    "take_over",
+    "sweep_stale_leases",
+]
+
+PathLike = Union[str, Path]
+
+#: Seconds without a heartbeat after which a lease with a live owner is
+#: still considered abandoned (hung process, lost thread).  Owners
+#: heartbeat far more often than this, so a healthy compute of any
+#: length keeps its lease.
+DEFAULT_STALE_AFTER = 5.0
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """What a waiter can read out of somebody else's lease file."""
+
+    pid: int
+    heartbeats: int
+    age_seconds: float
+    owner_alive: bool
+
+
+class LeaseState:
+    """Classification of a lease path: ``missing``, ``held`` or ``stale``."""
+
+    MISSING = "missing"
+    HELD = "held"
+    STALE = "stale"
+
+    def __init__(self, kind: str, info: LeaseInfo | None = None) -> None:
+        self.kind = kind
+        self.info = info
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeaseState({self.kind!r}, {self.info!r})"
+
+
+class Lease:
+    """An acquired lease: heartbeat while computing, release when done.
+
+    Create through :func:`acquire_lease` (or :func:`take_over`), never
+    directly — acquisition is what makes the ``O_CREAT | O_EXCL``
+    guarantee.
+    """
+
+    def __init__(self, path: Path, pid: int) -> None:
+        self.path = path
+        self.pid = pid
+        self._heartbeats = 0
+        self._released = False
+        self._stop = threading.Event()
+        self._beater: threading.Thread | None = None
+        self._write_payload()
+
+    def _write_payload(self) -> None:
+        # A lease payload is coordination state, not a cached artifact:
+        # it must NOT be written atomically-with-rename, because the
+        # whole point of the file is that its inode was created with
+        # O_EXCL by exactly one process.  A torn payload is harmless —
+        # readers fall back to mtime + "malformed means stale-by-age".
+        payload = json.dumps(
+            {"pid": self.pid, "heartbeats": self._heartbeats},
+            sort_keys=True,
+        )
+        fd = os.open(self.path, os.O_WRONLY | os.O_TRUNC)
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def heartbeat(self) -> int:
+        """Refresh the lease (payload + mtime); returns the beat count."""
+        if self._released:
+            raise ReproError(f"lease {self.path.name} already released")
+        self._heartbeats += 1
+        self._write_payload()
+        return self._heartbeats
+
+    def start_heartbeat(self, interval_seconds: float) -> None:
+        """Refresh the lease every *interval_seconds* in a daemon thread.
+
+        The thread stops on :meth:`stop_heartbeat` / :meth:`release` —
+        and, like everything else about a lease, dies with the process:
+        a killed owner's lease goes quiet and is taken over by age.
+        """
+        if self._beater is not None:
+            return
+
+        def beat() -> None:
+            while not self._stop.wait(interval_seconds):
+                try:
+                    self.heartbeat()
+                except (ReproError, OSError):
+                    return  # released concurrently, or the file is gone
+
+        self._beater = threading.Thread(
+            target=beat, name=f"lease-heartbeat-{self.path.name}", daemon=True
+        )
+        self._beater.start()
+
+    def stop_heartbeat(self) -> None:
+        """Stop the heartbeat thread without touching the lease file.
+
+        The cache calls this when an injected crash unwinds through the
+        compute: the simulated-dead process must stop looking alive, but
+        its lease file stays behind for stale takeover — exactly the
+        debris a real ``kill -9`` leaves.
+        """
+        self._stop.set()
+        if self._beater is not None:
+            self._beater.join(timeout=1.0)
+            self._beater = None
+
+    def release(self) -> None:
+        """Unlink the lease file and stop the heartbeat (idempotent)."""
+        if self._released:
+            return
+        self.stop_heartbeat()
+        self._released = True
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass  # a takeover (wrongly) judged us stale; nothing to free
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return True
+    return True
+
+
+def acquire_lease(path: PathLike, pid: int | None = None) -> Lease | None:
+    """Try to create *path* exclusively; ``None`` when somebody holds it.
+
+    Fires the ``cache.lease`` fault site before touching the filesystem,
+    so schedules can model a replica dying at the moment it would have
+    won (leaving either no lease or an orphan for takeover, depending on
+    where the crash rule is placed).
+    """
+    fault_point("cache.lease")
+    target = Path(path)
+    try:
+        fd = os.open(target, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return None
+    except OSError as exc:  # pragma: no cover - exotic filesystems
+        if exc.errno == errno.EEXIST:
+            return None
+        raise
+    os.close(fd)
+    return Lease(target, os.getpid() if pid is None else pid)
+
+
+def lease_state(
+    path: PathLike, stale_after: float = DEFAULT_STALE_AFTER
+) -> LeaseState:
+    """Classify the lease at *path*: missing, held or stale.
+
+    A lease is *stale* when its owner pid is no longer alive, or when
+    its mtime is older than *stale_after* seconds (no heartbeats — a
+    hung owner).  A payload that cannot be parsed (torn write, takeover
+    race) falls back to the mtime rule alone.
+    """
+    target = Path(path)
+    try:
+        stat = target.stat()
+    except FileNotFoundError:
+        return LeaseState(LeaseState.MISSING)
+    except OSError:
+        return LeaseState(LeaseState.MISSING)
+    age = max(0.0, time.time() - stat.st_mtime)
+    pid = -1
+    heartbeats = -1
+    try:
+        payload = json.loads(target.read_bytes().decode("utf-8"))
+        pid = int(payload["pid"])
+        heartbeats = int(payload["heartbeats"])
+    except (OSError, ValueError, KeyError, TypeError):
+        # Freshly created (empty), torn, or concurrently unlinked: judge
+        # by age alone.
+        kind = LeaseState.STALE if age > stale_after else LeaseState.HELD
+        return LeaseState(kind, LeaseInfo(pid, heartbeats, age, owner_alive=False))
+    alive = _pid_alive(pid)
+    info = LeaseInfo(pid=pid, heartbeats=heartbeats, age_seconds=age, owner_alive=alive)
+    if not alive or age > stale_after:
+        return LeaseState(LeaseState.STALE, info)
+    return LeaseState(LeaseState.HELD, info)
+
+
+def take_over(
+    path: PathLike, stale_after: float = DEFAULT_STALE_AFTER
+) -> Lease | None:
+    """Break a stale lease and try to acquire it; ``None`` if outraced.
+
+    Re-checks staleness immediately before the unlink so a concurrent
+    heartbeat (the owner was alive after all) is respected; the
+    subsequent exclusive create may still lose to another taker — that
+    is fine, exactly one process ends up owning the recreated lease.
+    """
+    state = lease_state(path, stale_after=stale_after)
+    if state.kind == LeaseState.HELD:
+        return None
+    if state.kind == LeaseState.STALE:
+        try:
+            Path(path).unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            return None
+    return acquire_lease(path)
+
+
+def sweep_stale_leases(
+    directory: PathLike, stale_after: float = DEFAULT_STALE_AFTER
+) -> int:
+    """Unlink every stale ``*.lease`` under *directory*; returns the count.
+
+    Run by :meth:`repro.service.cache.AssessmentCache.recover_orphans`
+    when a cache opens a directory, so leftovers of crashed replicas do
+    not make the first cold miss of a fresh process wait out the
+    staleness window.
+    """
+    removed = 0
+    for path in Path(directory).glob("*.lease"):
+        if lease_state(path, stale_after=stale_after).kind == LeaseState.STALE:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            except OSError:
+                continue
+            removed += 1
+    return removed

@@ -1,0 +1,546 @@
+"""Replayable load harness for the serving stack (``repro-loadgen``).
+
+Answers the question the engine benchmarks cannot: how many requests
+per second does the *system* sustain, at what latency, under which
+server flavor and replica topology?  The harness:
+
+* generates fingerprint-skewed traffic — a seeded mix of small
+  synthetic profiles sampled from a Zipf distribution, so a few
+  fingerprints are hot (cache-friendly) and a long tail is cold, the
+  shape real content-addressed caches see;
+* launches real ``repro-serve`` subprocesses (threaded or ``--async``,
+  1..N replicas, optionally sharing one ``--cache-dir`` in
+  ``--shared-cache`` mode) and parses their startup banner for the
+  bound port;
+* drives them over real sockets with K concurrent keep-alive
+  connections from a single-threaded asyncio client (one thread, so on
+  a small host the measured difference between server flavors is the
+  servers', not the client's);
+* cross-checks its client-side percentiles against the server's own
+  ``/metrics`` latency histograms and cache counters;
+* appends one run record per (flavor × replicas × connections) cell to
+  the tracked ``BENCH_service.json`` trajectory.
+
+The same seed replays the same request sequence — per-connection
+streams are seeded independently from ``(seed, connection index)``, so
+a run is reproducible for any concurrency level.  ``--faults PATH`` is
+forwarded to the servers, composing load with failure schedules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import repro
+from repro.errors import ReproError
+from repro.io import load_json, profile_to_json, save_json_atomic
+from repro.data.database import FrequencyProfile
+
+__all__ = [
+    "WorkloadSpec",
+    "CellResult",
+    "ReplicaPool",
+    "build_payloads",
+    "run_cell",
+    "run_shared_cache_trial",
+    "append_trajectory",
+]
+
+_BANNER_MARKER = "listening on http://"
+
+
+# -- workload ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A replayable traffic description.
+
+    ``profiles`` distinct fingerprints are ranked 1..M and sampled with
+    probability proportional to ``rank ** -zipf_s`` — rank 1 is the hot
+    head, the tail is cold.  ``runs=1`` and a generous tolerance keep a
+    single cold compute in the low-millisecond range, so cells measure
+    serving overhead rather than recipe depth.
+    """
+
+    profiles: int = 50
+    items: int = 10
+    zipf_s: float = 1.1
+    tolerance: float = 0.8
+    seed: int = 0
+
+
+def synthetic_profile(index: int, items: int) -> FrequencyProfile:
+    """A small deterministic profile, distinct per *index*.
+
+    Counts are index-shifted so every profile hashes to a different
+    fingerprint while staying structurally similar (same item count,
+    similar group structure).
+    """
+    n_transactions = 1000
+    counts = {
+        item: 100 + 37 * ((item + index) % items) + (index % 7)
+        for item in range(items)
+    }
+    return FrequencyProfile(counts, n_transactions)
+
+
+def build_payloads(spec: WorkloadSpec) -> list[bytes]:
+    """The pre-serialized ``POST /assess`` body for every fingerprint."""
+    payloads = []
+    for index in range(spec.profiles):
+        body = {
+            "profile": profile_to_json(synthetic_profile(index, spec.items)),
+            "tolerance": spec.tolerance,
+            "runs": 1,
+            "seed": 0,
+        }
+        payloads.append(json.dumps(body, sort_keys=True).encode("utf-8"))
+    return payloads
+
+
+def _zipf_cumulative(count: int, s: float) -> list[float]:
+    weights = [(rank + 1) ** -s for rank in range(count)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    return cumulative
+
+
+def request_stream(
+    spec: WorkloadSpec, connection_index: int
+) -> Iterable[int]:
+    """An endless, replayable stream of payload indices for one connection."""
+    import bisect
+
+    rng = random.Random(f"{spec.seed}:{connection_index}")
+    cumulative = _zipf_cumulative(spec.profiles, spec.zipf_s)
+    while True:
+        yield bisect.bisect_left(cumulative, rng.random())
+
+
+# -- server orchestration ---------------------------------------------------
+
+
+class ReplicaPool:
+    """N real ``repro-serve`` subprocesses, banner-parsed for their ports."""
+
+    def __init__(
+        self,
+        count: int = 1,
+        flavor: str = "threaded",
+        cache_dir: Path | None = None,
+        shared: bool = False,
+        max_inflight: int = 8,
+        max_queue: int = 128,
+        faults: str | None = None,
+        startup_timeout: float = 20.0,
+    ) -> None:
+        if flavor not in ("threaded", "async"):
+            raise ReproError(f"unknown server flavor {flavor!r}")
+        self.flavor = flavor
+        self.count = count
+        self.cache_dir = cache_dir
+        self.shared = shared
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.faults = faults
+        self.startup_timeout = startup_timeout
+        self.processes: list[subprocess.Popen[str]] = []
+        self.ports: list[int] = []
+
+    def _serve_args(self) -> list[str]:
+        args = [
+            "--port", "0",
+            "--grace", "2",
+            "--max-inflight", str(self.max_inflight),
+            "--max-queue", str(self.max_queue),
+        ]
+        if self.flavor == "async":
+            args.append("--async")
+        if self.cache_dir is not None:
+            args += ["--cache-dir", str(self.cache_dir)]
+        if self.shared:
+            args.append("--shared-cache")
+        if self.faults is not None:
+            args += ["--faults", self.faults]
+        return args
+
+    def __enter__(self) -> "ReplicaPool":
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        code = (
+            "from repro.cli import serve_main; "
+            f"raise SystemExit(serve_main({self._serve_args()!r}))"
+        )
+        try:
+            for _ in range(self.count):
+                process = subprocess.Popen(
+                    [sys.executable, "-c", code],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                    env=env,
+                )
+                self.processes.append(process)
+            for process in self.processes:
+                self.ports.append(self._await_banner(process))
+        except BaseException:
+            self.shutdown()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def _await_banner(self, process: subprocess.Popen[str]) -> int:
+        assert process.stdout is not None
+        deadline = time.monotonic() + self.startup_timeout
+        while True:
+            if process.poll() is not None:
+                raise ReproError(
+                    f"server replica exited with {process.returncode} "
+                    "before printing its banner"
+                )
+            line = process.stdout.readline()
+            if _BANNER_MARKER in line:
+                return int(line.rsplit(":", 1)[1].strip().rstrip("/"))
+            if time.monotonic() > deadline:
+                raise ReproError("timed out waiting for the server banner")
+
+    def shutdown(self) -> None:
+        import signal as _signal
+
+        for process in self.processes:
+            if process.poll() is None:
+                process.send_signal(_signal.SIGTERM)
+        for process in self.processes:
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+            if process.stdout is not None:
+                process.stdout.close()
+        self.processes.clear()
+
+    def metrics(self) -> list[dict[str, Any]]:
+        """One ``GET /metrics`` snapshot per replica (blocking)."""
+        snapshots = []
+        for port in self.ports:
+            connection = HTTPConnection("127.0.0.1", port, timeout=10.0)
+            try:
+                connection.request("GET", "/metrics")
+                response = connection.getresponse()
+                snapshots.append(json.loads(response.read()))
+            finally:
+                connection.close()
+        return snapshots
+
+
+# -- the asyncio client -----------------------------------------------------
+
+
+@dataclass
+class _ClientStats:
+    latencies: list[float] = field(default_factory=list)
+    statuses: dict[int, int] = field(default_factory=dict)
+    errors: int = 0
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    payloads: Sequence[bytes],
+    indices: Iterable[int],
+    stop_at: float,
+    max_requests: int,
+    stats: _ClientStats,
+) -> None:
+    """One keep-alive connection's closed loop: send, await, record."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        stats.errors += 1
+        return
+    sent = 0
+    try:
+        for index in indices:
+            if sent >= max_requests or time.monotonic() >= stop_at:
+                return
+            body = payloads[index]
+            head = (
+                "POST /assess HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            start = time.perf_counter()
+            writer.write(head + body)
+            await writer.drain()
+            status, _ = await _read_response(reader)
+            stats.latencies.append(time.perf_counter() - start)
+            stats.statuses[status] = stats.statuses.get(status, 0) + 1
+            sent += 1
+    except (OSError, asyncio.IncompleteReadError, ValueError):
+        stats.errors += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+            break
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+# -- cells ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One measured (flavor × replicas × connections) cell."""
+
+    flavor: str
+    replicas: int
+    connections: int
+    requests: int
+    duration_seconds: float
+    rps: float
+    p50_ms: float
+    p99_ms: float
+    shed_rate: float
+    cache_hit_ratio: float
+    coalesce_count: int
+    client_errors: int
+    statuses: dict[int, int]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "flavor": self.flavor,
+            "replicas": self.replicas,
+            "connections": self.connections,
+            "requests": self.requests,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "rps": round(self.rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "shed_rate": round(self.shed_rate, 5),
+            "cache_hit_ratio": round(self.cache_hit_ratio, 5),
+            "coalesce_count": self.coalesce_count,
+            "client_errors": self.client_errors,
+            "statuses": {str(code): count for code, count in sorted(self.statuses.items())},
+        }
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _run_clients(
+    ports: Sequence[int],
+    payloads: Sequence[bytes],
+    spec: WorkloadSpec,
+    connections: int,
+    duration_seconds: float,
+    max_requests_per_connection: int,
+) -> tuple[_ClientStats, float]:
+    stats = _ClientStats()
+    stop_at = time.monotonic() + duration_seconds
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _drive_connection(
+                "127.0.0.1",
+                ports[worker % len(ports)],
+                payloads,
+                request_stream(spec, worker),
+                stop_at,
+                max_requests_per_connection,
+                stats,
+            )
+            for worker in range(connections)
+        )
+    )
+    return stats, time.perf_counter() - start
+
+
+def _warm_cache(ports: Sequence[int], payloads: Sequence[bytes]) -> None:
+    """One synchronous pass over every fingerprint against every replica."""
+    for port in ports:
+        connection = HTTPConnection("127.0.0.1", port, timeout=30.0)
+        try:
+            for body in payloads:
+                connection.request(
+                    "POST",
+                    "/assess",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                connection.getresponse().read()
+        finally:
+            connection.close()
+
+
+def run_cell(
+    pool: ReplicaPool,
+    spec: WorkloadSpec,
+    connections: int,
+    duration_seconds: float,
+    max_requests_per_connection: int = 1_000_000,
+    warm: bool = True,
+) -> CellResult:
+    """Drive one started pool at one concurrency level and measure it.
+
+    With *warm* (the default for throughput cells) every fingerprint is
+    assessed once per replica first, so the measured window is cache-hot
+    and the number is serving overhead, not recipe compute.
+    """
+    payloads = build_payloads(spec)
+    if warm:
+        _warm_cache(pool.ports, payloads)
+    stats, elapsed = asyncio.run(
+        _run_clients(
+            pool.ports,
+            payloads,
+            spec,
+            connections,
+            duration_seconds,
+            max_requests_per_connection,
+        )
+    )
+    requests = sum(stats.statuses.values())
+    latencies = sorted(stats.latencies)
+    shed = stats.statuses.get(429, 0)
+    snapshots = pool.metrics()
+    hits = sum(int(s["cache"]["hits"]) for s in snapshots)
+    misses = sum(int(s["cache"]["misses"]) for s in snapshots)
+    coalesced = sum(int(s["cache"]["coalesced"]) for s in snapshots)
+    total_lookups = hits + misses
+    return CellResult(
+        flavor=pool.flavor,
+        replicas=len(pool.ports),
+        connections=connections,
+        requests=requests,
+        duration_seconds=elapsed,
+        rps=requests / elapsed if elapsed > 0 else 0.0,
+        p50_ms=_percentile(latencies, 0.50) * 1000.0,
+        p99_ms=_percentile(latencies, 0.99) * 1000.0,
+        shed_rate=shed / requests if requests else 0.0,
+        cache_hit_ratio=hits / total_lookups if total_lookups else 0.0,
+        coalesce_count=coalesced,
+        client_errors=stats.errors,
+        statuses=dict(stats.statuses),
+    )
+
+
+def run_shared_cache_trial(
+    cache_dir: Path,
+    spec: WorkloadSpec,
+    replicas: int = 2,
+    connections: int = 8,
+    flavor: str = "threaded",
+    duration_seconds: float = 5.0,
+) -> dict[str, Any]:
+    """Cold-start *replicas* processes on one cache directory and race them.
+
+    Every fingerprint must be computed exactly once across the fleet —
+    the lease protocol's acceptance gate.  Returns the trial record,
+    including per-replica compute counts and the summed coalesce
+    counters.
+    """
+    payloads = build_payloads(spec)
+    with ReplicaPool(
+        count=replicas, flavor=flavor, cache_dir=cache_dir, shared=True
+    ) as pool:
+        stats, elapsed = asyncio.run(
+            _run_clients(
+                pool.ports, payloads, spec, connections, duration_seconds,
+                max_requests_per_connection=1_000_000,
+            )
+        )
+        snapshots = pool.metrics()
+    computed = [int(s["metrics"]["counters"].get("computed", 0)) for s in snapshots]
+    lease_coalesced = sum(
+        int(s["cache"].get("lease_coalesced", 0)) for s in snapshots
+    )
+    lease_acquired = sum(int(s["cache"].get("lease_acquired", 0)) for s in snapshots)
+    artifacts = sorted(p.name for p in Path(cache_dir).glob("*.json"))
+    requests = sum(stats.statuses.values())
+    return {
+        "flavor": flavor,
+        "replicas": replicas,
+        "connections": connections,
+        "requests": requests,
+        "rps": round(requests / elapsed, 2) if elapsed > 0 else 0.0,
+        "fingerprints": spec.profiles,
+        "computed_per_replica": computed,
+        "computed_total": sum(computed),
+        "lease_acquired": lease_acquired,
+        "lease_coalesced": lease_coalesced,
+        "artifacts": len(artifacts),
+        "client_errors": stats.errors,
+    }
+
+
+# -- the tracked trajectory -------------------------------------------------
+
+
+def append_trajectory(
+    path: Path,
+    cells: Sequence[CellResult],
+    shared_cache: dict[str, Any] | None,
+    label: str,
+) -> dict[str, Any]:
+    """Append one run record to ``BENCH_service.json`` (created if absent)."""
+    try:
+        report = load_json(path)
+        if not isinstance(report, dict) or report.get("benchmark") != "bench_service":
+            report = {"benchmark": "bench_service", "schema": 1, "trajectory": []}
+    except (OSError, ReproError):
+        report = {"benchmark": "bench_service", "schema": 1, "trajectory": []}
+    record: dict[str, Any] = {
+        "label": label,
+        "version": repro.__version__,
+        "cells": [cell.to_json() for cell in cells],
+    }
+    if shared_cache is not None:
+        record["shared_cache"] = shared_cache
+    trajectory = report.setdefault("trajectory", [])
+    assert isinstance(trajectory, list)
+    trajectory.append(record)
+    save_json_atomic(report, path)
+    return report

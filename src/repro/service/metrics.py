@@ -1,19 +1,31 @@
-"""Lightweight service metrics: counters and per-stage wall-clock timers.
+"""Lightweight service metrics: counters, timers and latency histograms.
 
-The engine and HTTP server share one :class:`ServiceMetrics` instance;
-``GET /metrics`` serves its :meth:`~ServiceMetrics.snapshot`.  Everything
-is guarded by a single lock so the threaded server can record from
-concurrent requests.
+The engine and HTTP servers (threaded and asyncio alike) share one
+:class:`ServiceMetrics` instance; ``GET /metrics`` serves its
+:meth:`~ServiceMetrics.snapshot`.  Everything is guarded by a single
+lock so concurrent requests can record safely from any thread.
+
+Histograms use a small fixed bucket ladder
+(:data:`LATENCY_BUCKETS_SECONDS`, 1 ms to 10 s) so the load harness
+(``repro-loadgen``) can cross-check its client-side percentiles against
+what the server itself observed, without unbounded per-request storage.
 """
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["ServiceMetrics", "LATENCY_BUCKETS_SECONDS"]
+
+#: Upper bounds (seconds) of the fixed latency histogram buckets; one
+#: implicit overflow bucket catches everything slower than the last edge.
+LATENCY_BUCKETS_SECONDS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class ServiceMetrics:
@@ -25,6 +37,8 @@ class ServiceMetrics:
         self._gauges: dict[str, float] = {}
         self._timer_counts: dict[str, int] = {}
         self._timer_totals: dict[str, float] = {}
+        self._histograms: dict[str, list[int]] = {}
+        self._histogram_sums: dict[str, float] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
         """Add *amount* to the counter *name* (created at 0)."""
@@ -61,8 +75,37 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """Record *seconds* into the fixed-bucket histogram *name*."""
+        index = bisect.bisect_left(LATENCY_BUCKETS_SECONDS, seconds)
+        with self._lock:
+            counts = self._histograms.get(name)
+            if counts is None:
+                counts = [0] * (len(LATENCY_BUCKETS_SECONDS) + 1)
+                self._histograms[name] = counts
+            counts[index] += 1
+            self._histogram_sums[name] = self._histogram_sums.get(name, 0.0) + seconds
+
+    def histogram(self, name: str) -> dict[str, Any] | None:
+        """One histogram's snapshot block, or ``None`` if never observed."""
+        with self._lock:
+            counts = self._histograms.get(name)
+            if counts is None:
+                return None
+            return self._histogram_block(name, counts)
+
+    def _histogram_block(self, name: str, counts: list[int]) -> dict[str, Any]:
+        # Caller holds the lock.
+        total = sum(counts)
+        return {
+            "buckets_seconds": list(LATENCY_BUCKETS_SECONDS),
+            "counts": list(counts),
+            "count": total,
+            "sum_seconds": self._histogram_sums.get(name, 0.0),
+        }
+
     def snapshot(self) -> dict[str, Any]:
-        """A JSON-ready view of every counter and timer."""
+        """A JSON-ready view of every counter, timer and histogram."""
         with self._lock:
             timers = {
                 name: {
@@ -76,12 +119,18 @@ class ServiceMetrics:
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "timers": timers,
+                "histograms": {
+                    name: self._histogram_block(name, counts)
+                    for name, counts in self._histograms.items()
+                },
             }
 
     def reset(self) -> None:
-        """Drop every counter, gauge and timer."""
+        """Drop every counter, gauge, timer and histogram."""
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._timer_counts.clear()
             self._timer_totals.clear()
+            self._histograms.clear()
+            self._histogram_sums.clear()

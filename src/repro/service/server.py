@@ -29,28 +29,24 @@ Endpoints
     Liveness probe; reports the package version.
 
 ``GET /metrics``
-    Engine metrics snapshot plus cache counters.
+    Engine metrics snapshot plus cache counters, admission queue depth
+    and per-route latency histograms.
 
-Every error response is structured the same way::
+Route semantics — validation, the error mapping (400/404/422/429/500/
+503 with ``Retry-After``), admission control, per-route counters and
+latency histograms — live in the transport-agnostic
+:class:`~repro.service.routes.ServiceCore`, shared verbatim with the
+asyncio front end (:mod:`repro.service.aio`).  This module contributes
+only the threaded transport.
 
-    {"error": {"type": "<exception class>", "message": "<detail>"},
-     "status": <http status>}
+The server is a :class:`http.server.ThreadingHTTPServer` speaking
+HTTP/1.1 with keep-alive: every response (including error bodies)
+carries an exact ``Content-Length``, so a client can reuse one
+connection for many requests instead of paying connection setup per
+request.  A request whose body cannot be read to its declared length is
+answered 400 and the connection is closed — after a truncated body the
+framing can no longer be trusted.
 
-with ``400`` for malformed requests (including truncated bodies and
-out-of-range ``runs`` / ``tolerance`` / ``seed`` / ``deadline_seconds``
-values), ``422`` for requests the recipe rejects, ``404`` for unknown
-paths, ``429`` (plus ``Retry-After``) when the admission queue sheds
-the request, ``503`` (plus ``Retry-After``) when the circuit breaker is
-open or a deadline expired with nothing to show, and ``500`` for
-unexpected internal failures (which are counted in the ``http_500``
-metric, never returned as a raw traceback).
-
-The server is a :class:`http.server.ThreadingHTTPServer`; the engine's
-cache and metrics are lock-guarded, so concurrent requests are safe.
-``POST /assess`` additionally passes through a bounded
-:class:`~repro.service.admission.AdmissionController` (``max_inflight``
-computations, ``max_queue`` waiters, 429 beyond that), so overload
-degrades by shedding instead of by piling up threads.
 Bind port 0 to get an ephemeral port (see ``server.server_port``).
 In-flight requests are tracked (the ``inflight_requests`` gauge), and
 :meth:`AssessmentServer.shutdown_gracefully` waits for them to drain —
@@ -60,78 +56,65 @@ process finishes the answers it already accepted before exiting.
 
 from __future__ import annotations
 
-import json
 import signal
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Iterator
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-import repro
-from repro.errors import BudgetExceeded, ReproError
-from repro.io import assessment_to_json, profile_from_json
-from repro.service.admission import (
-    AdmissionController,
-    AdmissionTimeout,
-    QueueFullError,
-)
-from repro.service.breaker import CircuitOpenError
-from repro.service.budget import request_budget
+from repro.service.admission import AdmissionController
 from repro.service.crack import CrackSessionStore
 from repro.service.engine import AssessmentEngine
-from repro.service.fingerprint import AssessmentParams
+from repro.service.routes import MAX_BODY_BYTES, RouteResponse, ServiceCore
 
 __all__ = ["AssessmentServer", "make_server", "serve", "run_until_signal"]
 
-#: Largest accepted ``seed`` (NumPy seeds the generator with unsigned
-#: 64-bit state; the fingerprint must match what the engine computes).
-_MAX_SEED = 2**64 - 1
-
-_MAX_BODY_BYTES = 64 * 1024 * 1024
-
 
 class AssessmentServer(ThreadingHTTPServer):
-    """An HTTP server bound to one :class:`AssessmentEngine`."""
+    """An HTTP server bound to one :class:`ServiceCore`."""
 
     daemon_threads = True
 
     def __init__(
         self,
         address: tuple[str, int],
-        engine: AssessmentEngine,
+        engine: AssessmentEngine | None = None,
         quiet: bool = True,
         admission: AdmissionController | None = None,
+        core: ServiceCore | None = None,
     ) -> None:
-        self.engine = engine
-        self.quiet = quiet
-        self.admission = (
-            AdmissionController(metrics=engine.metrics)
-            if admission is None
-            else admission
+        self.core = (
+            ServiceCore(engine=engine, admission=admission) if core is None else core
         )
-        self.crack_sessions = CrackSessionStore()
-        self._inflight = 0
-        self._inflight_lock = threading.Lock()
+        self.quiet = quiet
         super().__init__(address, _AssessmentHandler)
+
+    # Convenience pass-throughs: tests and callers address the server,
+    # the shared state lives on the core (one core can back several
+    # transports).
+
+    @property
+    def engine(self) -> AssessmentEngine:
+        return self.core.engine
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self.core.admission
+
+    @property
+    def crack_sessions(self) -> CrackSessionStore:
+        return self.core.crack_sessions
 
     @contextmanager
     def tracked_request(self) -> Iterator[None]:
         """Count a request as in-flight for graceful-shutdown draining."""
-        with self._inflight_lock:
-            self._inflight += 1
-            self.engine.metrics.set_gauge("inflight_requests", self._inflight)
-        try:
+        with self.core.tracked_request():
             yield
-        finally:
-            with self._inflight_lock:
-                self._inflight -= 1
-                self.engine.metrics.set_gauge("inflight_requests", self._inflight)
 
     def inflight_requests(self) -> int:
         """How many requests are currently being answered."""
-        with self._inflight_lock:
-            return self._inflight
+        return self.core.inflight_requests()
 
     def shutdown_gracefully(self, grace_seconds: float = 5.0) -> bool:
         """Stop accepting, drain in-flight requests, close the socket.
@@ -157,53 +140,50 @@ class AssessmentServer(ThreadingHTTPServer):
 class _AssessmentHandler(BaseHTTPRequestHandler):
     server: AssessmentServer
 
+    #: HTTP/1.1 makes keep-alive the default; every reply path below
+    #: (success and error alike) sets an exact Content-Length, which is
+    #: what makes persistent connections legal.
+    protocol_version = "HTTP/1.1"
+
+    #: Headers and body go out as separate writes; without TCP_NODELAY
+    #: Nagle holds the body back for the delayed ACK (~40 ms per
+    #: request on loopback).  Asyncio transports disable Nagle by
+    #: default, so this also keeps the flavor comparison honest.
+    disable_nagle_algorithm = True
+
     # -- plumbing ---------------------------------------------------------
 
     def log_message(self, format: str, *args: object) -> None:
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _reply(
-        self,
-        status: int,
-        payload: dict[str, Any],
-        headers: dict[str, str] | None = None,
-    ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    def _send(self, response: RouteResponse) -> None:
+        body = response.body()
         try:
-            self.send_response(status)
+            self.send_response(response.status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
-            for name, value in (headers or {}).items():
+            for name, value in response.headers.items():
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except (ConnectionError, BrokenPipeError):
             # The client hung up mid-reply; nothing left to answer.
             self.server.engine.metrics.increment("client_disconnects")
+            self.close_connection = True
 
-    def _reply_error(
-        self,
-        status: int,
-        error_type: str,
-        message: str,
-        headers: dict[str, str] | None = None,
-    ) -> None:
-        self._reply(
-            status,
-            {"error": {"type": error_type, "message": message}, "status": status},
-            headers=headers,
-        )
+    def _read_body(self) -> bytes:
+        """Read exactly Content-Length bytes off the socket.
 
-    def _read_json_body(self) -> dict[str, Any]:
+        A socket read may return fewer bytes than asked for; keep
+        reading until the declared Content-Length is satisfied, and
+        reject bodies the client truncated instead of parsing a prefix.
+        """
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
-            raise ValueError("empty request body")
-        if length > _MAX_BODY_BYTES:
-            raise ValueError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
-        # A socket read may return fewer bytes than asked for; keep
-        # reading until the declared Content-Length is satisfied, and
-        # reject bodies the client truncated instead of parsing a prefix.
+            return b""
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         chunks: list[bytes] = []
         received = 0
         while received < length:
@@ -215,140 +195,36 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
                 )
             chunks.append(chunk)
             received += len(chunk)
-        payload = json.loads(b"".join(chunks))
-        if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
-        return payload
+        return b"".join(chunks)
 
     # -- endpoints --------------------------------------------------------
 
     def do_GET(self) -> None:
         with self.server.tracked_request():
-            if self.path == "/healthz":
-                self._reply(200, {"status": "ok", "version": repro.__version__})
-            elif self.path == "/metrics":
-                engine = self.server.engine
-                self._reply(
-                    200,
-                    {"metrics": engine.metrics.snapshot(), "cache": engine.cache.stats()},
-                )
-            else:
-                self._reply_error(404, "NotFound", f"unknown path {self.path}")
+            self._send(self.server.core.dispatch("GET", self.path))
 
     def do_POST(self) -> None:
         with self.server.tracked_request():
-            if self.path == "/crack/step":
-                self._crack_step()
-                return
-            if self.path != "/assess":
-                self._reply_error(404, "NotFound", f"unknown path {self.path}")
-                return
             try:
-                payload = self._read_json_body()
-                if "profile" not in payload:
-                    raise ValueError("missing required key 'profile'")
-                if "tolerance" not in payload:
-                    raise ValueError("missing required key 'tolerance'")
-                profile = profile_from_json(payload["profile"])
-                interest = payload.get("interest")
-                tolerance = float(payload["tolerance"])
-                if not tolerance >= 0:
-                    raise ValueError(f"tolerance must be >= 0, got {tolerance}")
-                runs = int(payload.get("runs", 5))
-                if runs < 1:
-                    raise ValueError(f"runs must be >= 1, got {runs}")
-                seed = int(payload.get("seed", 0))
-                if not 0 <= seed <= _MAX_SEED:
-                    raise ValueError(
-                        f"seed must be in [0, 2**64), got {seed}"
+                body = self._read_body()
+            except ValueError as exc:
+                # After a truncated or oversized body the connection's
+                # framing cannot be trusted; answer and hang up.
+                self._send(
+                    RouteResponse(
+                        400,
+                        {
+                            "error": {
+                                "type": type(exc).__name__,
+                                "message": str(exc),
+                            },
+                            "status": 400,
+                        },
                     )
-                params = AssessmentParams(
-                    tolerance=tolerance,
-                    delta=None if payload.get("delta") is None else float(payload["delta"]),
-                    runs=runs,
-                    seed=seed,
-                    interest=None if interest is None else frozenset(interest),
                 )
-                deadline = payload.get("deadline_seconds")
-                budget = (
-                    None if deadline is None else request_budget(float(deadline))
-                )
-            except (ValueError, TypeError, KeyError, json.JSONDecodeError, ReproError) as exc:
-                self._reply_error(400, type(exc).__name__, str(exc))
+                self.close_connection = True
                 return
-            try:
-                timeout = None if budget is None else budget.remaining_seconds()
-                with self.server.admission.admitted(timeout_seconds=timeout):
-                    outcome = self.server.engine.assess_request(
-                        profile, params, budget=budget
-                    )
-            except QueueFullError as exc:
-                self._reply_error(
-                    429,
-                    type(exc).__name__,
-                    str(exc),
-                    headers={"Retry-After": str(int(exc.retry_after + 0.5) or 1)},
-                )
-                return
-            except (AdmissionTimeout, CircuitOpenError) as exc:
-                self._reply_error(
-                    503,
-                    type(exc).__name__,
-                    str(exc),
-                    headers={"Retry-After": str(int(exc.retry_after + 0.5) or 1)},
-                )
-                return
-            except BudgetExceeded as exc:
-                # The deadline expired before any rung produced even a
-                # partial answer; tell the client to come back rather
-                # than hanging or dropping the connection.
-                self._reply_error(
-                    503,
-                    type(exc).__name__,
-                    f"deadline expired before any result was ready ({exc})",
-                    headers={"Retry-After": "1"},
-                )
-                return
-            except ReproError as exc:
-                self._reply_error(422, type(exc).__name__, str(exc))
-                return
-            except Exception as exc:
-                # An unexpected failure (I/O fault, bug) must surface as
-                # a structured 500, never as a dropped connection.
-                self.server.engine.metrics.increment("http_500")
-                self._reply_error(500, type(exc).__name__, str(exc))
-                return
-            self._reply(
-                200,
-                {
-                    "fingerprint": outcome.fingerprint,
-                    "cached": outcome.cached,
-                    "elapsed_seconds": outcome.elapsed_seconds,
-                    "partial": outcome.assessment.partial,
-                    "assessment": assessment_to_json(outcome.assessment),
-                },
-            )
-
-    def _crack_step(self) -> None:
-        """One ``POST /crack/step`` move against the solver session store."""
-        metrics = self.server.engine.metrics
-        try:
-            payload = self._read_json_body()
-        except (ValueError, TypeError, json.JSONDecodeError) as exc:
-            self._reply_error(400, type(exc).__name__, str(exc))
-            return
-        try:
-            with metrics.timer("crack:step"):
-                result = self.server.crack_sessions.step(payload)
-        except ReproError as exc:
-            self._reply_error(422, type(exc).__name__, str(exc))
-            return
-        except Exception as exc:
-            metrics.increment("http_500")
-            self._reply_error(500, type(exc).__name__, str(exc))
-            return
-        metrics.increment("crack_steps")
-        self._reply(200, result)
+            self._send(self.server.core.dispatch("POST", self.path, body))
 
 
 def make_server(
@@ -360,11 +236,10 @@ def make_server(
     max_queue: int = 32,
 ) -> AssessmentServer:
     """Create (but do not start) a server; ``port=0`` picks a free port."""
-    engine = engine or AssessmentEngine()
-    admission = AdmissionController(
-        max_inflight=max_inflight, max_queue=max_queue, metrics=engine.metrics
+    core = ServiceCore(
+        engine=engine, max_inflight=max_inflight, max_queue=max_queue
     )
-    return AssessmentServer((host, port), engine, quiet=quiet, admission=admission)
+    return AssessmentServer((host, port), quiet=quiet, core=core)
 
 
 def run_until_signal(

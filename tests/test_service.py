@@ -270,7 +270,12 @@ class TestMetrics:
         assert snap["timers"]["stage"]["count"] == 1
         assert snap["timers"]["stage"]["total_seconds"] >= 0
         metrics.reset()
-        assert metrics.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }
 
     def test_gauges(self):
         metrics = ServiceMetrics()
