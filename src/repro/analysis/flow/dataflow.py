@@ -1,0 +1,79 @@
+"""A small forward fixpoint framework over :mod:`.cfg` graphs.
+
+An analysis provides an initial state, a join, and a per-statement
+transfer function; :func:`solve` runs the classic worklist iteration to
+the least fixpoint.  Compound statements appear *shallowly* in their
+block (an ``if`` contributes only its test, a ``with`` only its context
+expressions — their bodies are separate blocks), so a transfer function
+must not recurse into ``stmt.body``.
+
+States must be treated as immutable by ``transfer`` (return a new state
+when anything changes); ``join`` likewise returns a fresh state.
+Termination is the analysis author's contract: the state lattice must
+have finite height (every analysis here uses finite sets/dicts over
+program names, which do).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Generic, TypeVar
+
+from repro.analysis.flow.cfg import ControlFlowGraph
+
+__all__ = ["ForwardAnalysis", "solve"]
+
+State = TypeVar("State")
+
+
+class ForwardAnalysis(Generic[State]):
+    """Subclass hook points for one forward may/must analysis."""
+
+    def initial(self) -> State:
+        raise NotImplementedError
+
+    def join(self, left: State, right: State) -> State:
+        raise NotImplementedError
+
+    def equal(self, left: State, right: State) -> bool:
+        return bool(left == right)
+
+    def transfer(self, statement: ast.stmt, state: State) -> State:
+        raise NotImplementedError
+
+
+def solve(
+    cfg: ControlFlowGraph,
+    analysis: ForwardAnalysis[State],
+    observe: Callable[[ast.stmt, State], None] | None = None,
+) -> dict[int, State]:
+    """Iterate to fixpoint; returns the state *entering* each block.
+
+    *observe*, when given, is called once per (statement, state-before)
+    pair on the final stable pass — the hook sink checks use.
+    """
+    states: dict[int, State] = {cfg.entry: analysis.initial()}
+    worklist = [cfg.entry]
+    while worklist:
+        index = worklist.pop()
+        state = states[index]
+        for stmt in cfg.blocks[index].statements:
+            state = analysis.transfer(stmt, state)
+        for succ in cfg.blocks[index].successors:
+            if succ not in states:
+                states[succ] = state
+                worklist.append(succ)
+            else:
+                merged = analysis.join(states[succ], state)
+                if not analysis.equal(merged, states[succ]):
+                    states[succ] = merged
+                    worklist.append(succ)
+    if observe is not None:
+        for block in cfg.blocks:
+            if block.index not in states:
+                continue
+            state = states[block.index]
+            for stmt in block.statements:
+                observe(stmt, state)
+                state = analysis.transfer(stmt, state)
+    return states

@@ -1,0 +1,476 @@
+"""Nondeterminism taint: wall-clock and entropy must never reach content.
+
+The determinism contract (equal fingerprints ⇒ byte-identical
+artifacts) dies the moment a value derived from ``time.time()``, an
+unseeded RNG, ``os.urandom`` or a ``set``'s iteration order flows into
+a fingerprint, a cache key, or a serialized artifact.  PR 4's DT001-003
+flag the *reads* inside the determinism-critical modules; this analysis
+follows the *values* anywhere in the program:
+
+* **sources** — the DT002 wall-clock/entropy table, the DT001 unseeded
+  RNG calls, and set iteration order (a ``for`` over a set, or
+  ``list(set(...))``);
+* **propagation** — a forward dataflow over each function's CFG (the
+  :mod:`.dataflow` fixpoint), plus call summaries so taint crosses
+  function boundaries: which parameters reach the return value, whether
+  the return is tainted outright, and which parameters fall into a sink
+  inside the callee;
+* **sinks** — calls into fingerprint construction (any project function
+  named ``*fingerprint*``), ``save_json_atomic`` payloads, and
+  ``AssessmentCache.put``;
+* **sanitizers** — ``sorted``/``len``/``sum``/``min``/``max`` and
+  friends cut set-order taint (their result no longer depends on the
+  order), and a handful of obviously order-free conversions.
+
+``time.perf_counter``/``monotonic`` are not sources — durations are
+metrics, not content — mirroring DT002's allowance.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from repro.analysis.flow.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analysis.flow.cfg import build_cfg
+from repro.analysis.flow.dataflow import ForwardAnalysis, solve
+from repro.analysis.lint.rules_determinism import (
+    UNSEEDED_RANDOM_FNS,
+    WALL_CLOCK_CALLS,
+    _attr_chain_tail,
+)
+
+__all__ = ["TaintFinding", "TaintAnalysis"]
+
+_SANITIZERS = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "bool", "int", "abs", "round"}
+)
+
+_MAX_ROUNDS = 6
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Where a tainted value came from.
+
+    ``kind`` is ``"source"`` for a concrete nondeterminism read and
+    ``"param"`` for the symbolic taint used to build call summaries.
+    """
+
+    kind: str
+    label: str
+    path: str
+    line: int
+    param: int = -1
+    chain: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A nondeterminism source that reaches a sink."""
+
+    function: str
+    path: str
+    line: int
+    source: Taint
+    sink: str
+
+    def witness(self) -> dict:
+        return {
+            "source": {
+                "label": self.source.label,
+                "path": self.source.path,
+                "line": self.source.line,
+            },
+            "sink": self.sink,
+            "call_chain": list(self.source.chain) + [self.function],
+        }
+
+
+@dataclass
+class _Summary:
+    returns_params: set[int] = field(default_factory=set)
+    returns_source: Taint | None = None
+    #: param index -> sink name the parameter falls into inside the callee.
+    param_sinks: dict[int, str] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        return (
+            frozenset(self.returns_params),
+            self.returns_source,
+            frozenset(self.param_sinks.items()),
+        )
+
+
+def _prefer(current: Taint | None, candidate: Taint | None) -> Taint | None:
+    """Merge two taints: a concrete source beats a symbolic param.
+
+    A value touched by both (``payload + str(stamp)``) must surface the
+    nondeterminism *source* — that is what findings report; the param
+    taint only feeds summaries.
+    """
+    if candidate is None:
+        return current
+    if current is None or (current.kind != "source" and candidate.kind == "source"):
+        return candidate
+    return current
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _source_of(node: ast.Call, path: str) -> Taint | None:
+    tail = _attr_chain_tail(node.func)
+    if tail is None:
+        return None
+    base, attr = tail
+    if tail in WALL_CLOCK_CALLS:
+        return Taint("source", f"{base}.{attr}()", path, node.lineno)
+    if base == "random" and attr in UNSEEDED_RANDOM_FNS:
+        return Taint("source", f"random.{attr}()", path, node.lineno)
+    if base == "random" and attr == "Random" and not node.args:
+        return Taint("source", "random.Random()", path, node.lineno)
+    if attr == "default_rng" and not node.args and not node.keywords:
+        return Taint("source", "default_rng()", path, node.lineno)
+    return None
+
+
+class _FunctionTaint(ForwardAnalysis[dict]):
+    """Forward taint over one function; states map local name -> Taint."""
+
+    def __init__(self, analysis: "TaintAnalysis", info: FunctionInfo):
+        self.analysis = analysis
+        self.info = info
+        self.sites_by_node = {
+            id(site.node): site
+            for site in analysis.graph.call_sites.get(info.qualname, ())
+        }
+        self.findings: list[TaintFinding] = []
+        self.summary = _Summary()
+        args = info.node.args
+        self.params = [
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+
+    # -- lattice ----------------------------------------------------------
+
+    def initial(self) -> dict:
+        state = {}
+        for index, name in enumerate(self.params):
+            if name == "self":
+                continue
+            state[name] = Taint("param", name, self.info.ctx.path, 0, param=index)
+        return state
+
+    def join(self, left: dict, right: dict) -> dict:
+        merged = dict(right)
+        merged.update(left)
+        return merged
+
+    # -- expression taint -------------------------------------------------
+
+    def expr_taint(self, node: ast.AST, state: dict) -> Taint | None:
+        if isinstance(node, ast.Name):
+            return state.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node, state)
+        if _is_set_expr(node):
+            return None  # a set itself is fine; *ordering* it is the source
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if _is_set_expr(generator.iter):
+                    return Taint(
+                        "source",
+                        "set iteration order",
+                        self.info.ctx.path,
+                        node.lineno,
+                    )
+        best: Taint | None = None
+        for child in ast.iter_child_nodes(node):
+            best = _prefer(best, self.expr_taint(child, state))
+            if best is not None and best.kind == "source":
+                return best
+        return best
+
+    def _call_taint(self, node: ast.Call, state: dict) -> Taint | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SANITIZERS:
+            return None
+        source = _source_of(node, self.info.ctx.path)
+        if source is not None:
+            return source
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("list", "tuple")
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            return Taint(
+                "source", "set iteration order", self.info.ctx.path, node.lineno
+            )
+        arg_taints = [self.expr_taint(arg, state) for arg in node.args]
+        site = self.sites_by_node.get(id(node))
+        if site is not None:
+            for callee in site.callees:
+                summary = self.analysis.summaries.get(callee)
+                if summary is None:
+                    continue
+                if summary.returns_source is not None:
+                    returned = summary.returns_source
+                    if self.info.qualname not in returned.chain:
+                        returned = replace(
+                            returned, chain=returned.chain + (callee,)
+                        )
+                    return returned
+                for index in summary.returns_params:
+                    taint = self._arg_taint(node, index, callee, arg_taints, state)
+                    if taint is not None:
+                        return taint
+        # Fall back: a call on a tainted receiver/argument keeps taint
+        # (str(t), t.isoformat(), "%s" % t ...).
+        best: Taint | None = None
+        for taint in arg_taints:
+            best = _prefer(best, taint)
+        if isinstance(func, ast.Attribute) and (
+            best is None or best.kind != "source"
+        ):
+            best = _prefer(best, self.expr_taint(func.value, state))
+        return best
+
+    def _arg_taint(
+        self,
+        node: ast.Call,
+        index: int,
+        callee: str,
+        arg_taints: list[Taint | None],
+        state: dict,
+    ) -> Taint | None:
+        target = self.analysis.graph.functions.get(callee)
+        # self occupies summary index 0 of a method but is not an
+        # argument at the call site.
+        skip_self = 1 if target is not None and _has_self(target) else 0
+        position = index - skip_self
+        if 0 <= position < len(arg_taints):
+            return arg_taints[position]
+        if target is not None:
+            names = _param_names(target)
+            for keyword in node.keywords:
+                if index < len(names) and names[index] == keyword.arg:
+                    return self.expr_taint(keyword.value, state)
+        return None
+
+    # -- transfer ---------------------------------------------------------
+
+    def transfer(self, statement: ast.stmt, state: dict) -> dict:
+        if isinstance(statement, ast.Assign):
+            taint = self.expr_taint(statement.value, state)
+            return self._store(statement.targets, taint, state)
+        if isinstance(statement, ast.AugAssign):
+            taint = self.expr_taint(statement.value, state)
+            if taint is None and isinstance(statement.target, ast.Name):
+                taint = state.get(statement.target.id)
+            return self._store([statement.target], taint, state)
+        if isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            taint = self.expr_taint(statement.value, state)
+            return self._store([statement.target], taint, state)
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            taint = self.expr_taint(statement.iter, state)
+            if taint is None and _is_set_expr(statement.iter):
+                taint = Taint(
+                    "source",
+                    "set iteration order",
+                    self.info.ctx.path,
+                    statement.lineno,
+                )
+            return self._store([statement.target], taint, state)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            new_state = state
+            for item in statement.items:
+                if item.optional_vars is None:
+                    continue
+                taint = self.expr_taint(item.context_expr, state)
+                new_state = self._store([item.optional_vars], taint, new_state)
+            return new_state
+        return state
+
+    def _store(
+        self, targets: Sequence[ast.expr], taint: Taint | None, state: dict
+    ) -> dict:
+        new_state = dict(state)
+        for target in targets:
+            for name_node in self._target_names(target):
+                if taint is None:
+                    new_state.pop(name_node, None)
+                else:
+                    new_state[name_node] = taint
+        return new_state
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from _FunctionTaint._target_names(element)
+
+    # -- observation: sinks and returns -----------------------------------
+
+    def observe(self, statement: ast.stmt, state: dict) -> None:
+        if isinstance(statement, ast.Return) and statement.value is not None:
+            taint = self.expr_taint(statement.value, state)
+            if taint is not None:
+                if taint.kind == "param":
+                    self.summary.returns_params.add(taint.param)
+                elif self.summary.returns_source is None:
+                    self.summary.returns_source = taint
+            # No early return: ``return fingerprint(x)`` is a sink call.
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Call):
+                self._check_sink(node, state)
+
+    def _check_sink(self, node: ast.Call, state: dict) -> None:
+        sink = self.analysis.sink_name(node, self.sites_by_node.get(id(node)))
+        if sink is not None:
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            best: Taint | None = None
+            for expr in arguments:
+                best = _prefer(best, self.expr_taint(expr, state))
+            if best is not None:
+                self._record(node, best, sink)
+                return
+        # Summary-carried sinks: an argument that the callee forwards
+        # into a sink of its own.
+        site = self.sites_by_node.get(id(node))
+        if site is None:
+            return
+        for callee in site.callees:
+            summary = self.analysis.summaries.get(callee)
+            if summary is None or not summary.param_sinks:
+                continue
+            target = self.analysis.graph.functions.get(callee)
+            names = _param_names(target) if target is not None else []
+            skip_self = 1 if target is not None and _has_self(target) else 0
+            for index, inner_sink in summary.param_sinks.items():
+                expr: ast.expr | None = None
+                position = index - skip_self
+                if 0 <= position < len(node.args):
+                    expr = node.args[position]
+                else:
+                    for keyword in node.keywords:
+                        if index < len(names) and names[index] == keyword.arg:
+                            expr = keyword.value
+                if expr is None:
+                    continue
+                taint = self.expr_taint(expr, state)
+                if taint is not None:
+                    self._record(node, taint, inner_sink, via=callee)
+                    return
+
+    def _record(
+        self, node: ast.Call, taint: Taint, sink: str, via: str | None = None
+    ) -> None:
+        if taint.kind == "param":
+            # Not a finding here — record it so callers inherit the sink.
+            self.summary.param_sinks.setdefault(taint.param, sink)
+            return
+        self.findings.append(
+            TaintFinding(
+                function=self.info.qualname,
+                path=self.info.ctx.path,
+                line=node.lineno,
+                source=taint,
+                sink=sink if via is None else f"{sink} (via {via})",
+            )
+        )
+
+
+def _has_self(info: FunctionInfo) -> bool:
+    names = _param_names(info)
+    return bool(names) and names[0] == "self"
+
+
+def _param_names(info: FunctionInfo) -> list[str]:
+    args = info.node.args
+    return [arg.arg for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+class TaintAnalysis:
+    """Whole-program taint run: summaries to fixpoint, then findings."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.summaries: dict[str, _Summary] = {}
+        self.sinks = self._discover_sinks()
+        self.findings: list[TaintFinding] = []
+        self._run()
+
+    def _discover_sinks(self) -> dict[str, str]:
+        sinks: dict[str, str] = {}
+        for qualname, info in self.graph.functions.items():
+            if info.name == "save_json_atomic" or "fingerprint" in info.name.lower():
+                sinks[qualname] = info.name
+            elif qualname.endswith("AssessmentCache.put"):
+                sinks[qualname] = "AssessmentCache.put"
+        return sinks
+
+    def sink_name(self, node: ast.Call, site: CallSite | None) -> str | None:
+        if site is not None:
+            for callee in site.callees:
+                if callee in self.sinks:
+                    return self.sinks[callee]
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is not None and (
+            name == "save_json_atomic" or "fingerprint" in name.lower()
+        ):
+            return name
+        return None
+
+    def _run(self) -> None:
+        ordered = sorted(self.graph.functions)
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            findings: list[TaintFinding] = []
+            for qualname in ordered:
+                info = self.graph.functions[qualname]
+                runner = _FunctionTaint(self, info)
+                cfg = build_cfg(info.node)
+                solve(cfg, runner, observe=runner.observe)
+                findings.extend(runner.findings)
+                previous = self.summaries.get(qualname)
+                if previous is None or previous.key() != runner.summary.key():
+                    self.summaries[qualname] = runner.summary
+                    changed = True
+            self.findings = findings
+            if not changed:
+                break
+        # Deduplicate by (site, sink): the fixpoint may rediscover the
+        # same flow in every round.
+        unique: dict[tuple, TaintFinding] = {}
+        for finding in self.findings:
+            unique.setdefault((finding.path, finding.line, finding.sink), finding)
+        self.findings = sorted(
+            unique.values(), key=lambda f: (f.path, f.line, f.sink)
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "sinks": len(self.sinks),
+            "tainted_returns": sum(
+                1 for s in self.summaries.values() if s.returns_source is not None
+            ),
+            "findings": len(self.findings),
+        }

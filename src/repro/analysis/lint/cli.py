@@ -1,16 +1,25 @@
 """``repro-lint``: run the invariant analyzer over source trees.
 
-Exit status: 0 when clean, 1 when violations (or parse errors) were
-found, 2 on usage errors.  ``--format json`` emits a machine-readable
-report (per-rule counts plus the suppression audit trail) — the schema
-``BENCH_lint.json`` snapshots; ``--dot FILE`` writes the measured
-package import graph in Graphviz syntax.
+Exit status (stable, scripts may rely on it): **0** when clean, **1**
+when violations or parse errors were found, **2** on usage errors (a
+missing path, ``--changed-only`` outside a git checkout).  ``--format
+json`` emits a machine-readable report (per-rule counts, the
+suppression audit trail, flow statistics and per-violation witnesses) —
+the schema ``BENCH_lint.json`` snapshots; ``--dot FILE`` writes the
+measured package import graph in Graphviz syntax.
+
+``--changed-only`` lints only the files ``git`` reports as modified or
+untracked — the fast local loop.  Changed-only (and ``--no-flow``) runs
+skip the whole-program families (CC/FS005/DT004 need the full call
+graph) and run the per-file FS004 heuristic instead; CI always runs the
+full tree.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -23,7 +32,7 @@ from repro.analysis.lint.engine import (
 )
 from repro.analysis.lint.rules_layering import layering_dot
 
-__all__ = ["main", "build_parser", "result_to_json"]
+__all__ = ["main", "build_parser", "result_to_json", "changed_files"]
 
 DEFAULT_PATHS = ("src", "benchmarks", "tests")
 
@@ -66,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files git reports changed/untracked under the "
+        "given paths (per-file rules only; implies --no-flow)",
+    )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the whole-program flow families (CC/FS005/DT004) and "
+        "run the per-file FS004 heuristic instead",
+    )
     return parser
 
 
@@ -85,11 +106,16 @@ def result_to_json(result: LintResult) -> dict:
     for suppression in result.suppressed:
         rule = suppression.violation.rule
         suppressed_counts[rule] = suppressed_counts.get(rule, 0) + 1
+    families: dict[str, int] = {}
+    for rule in REGISTRY.values():
+        families[rule.family] = families.get(rule.family, 0) + 1
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "files_scanned": result.files_scanned,
         "clean": result.clean,
         "rules_registered": sorted(REGISTRY),
+        "rule_families": dict(sorted(families.items())),
+        "flow": result.flow_stats,
         "violation_counts": dict(sorted(counts.items())),
         "suppressed_counts": dict(sorted(suppressed_counts.items())),
         "violations": [
@@ -99,6 +125,7 @@ def result_to_json(result: LintResult) -> dict:
                 "col": v.col,
                 "rule": v.rule,
                 "message": v.message,
+                **({"witness": v.witness} if v.witness is not None else {}),
             }
             for v in result.violations + result.parse_errors
         ],
@@ -112,6 +139,39 @@ def result_to_json(result: LintResult) -> dict:
             for s in result.suppressed
         ],
     }
+
+
+def changed_files(paths: Sequence[str]) -> list[Path] | None:
+    """Python files git reports modified or untracked under *paths*.
+
+    Returns ``None`` when git is unavailable (not a repository) — the
+    caller maps that to exit code 2.
+    """
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD", "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    candidates = {
+        line.strip()
+        for out in (diff.stdout, untracked.stdout)
+        for line in out.splitlines()
+        if line.strip().endswith(".py")
+    }
+    scoped = {file.resolve() for file in iter_python_files(paths)}
+    return sorted(
+        path for raw in candidates if (path := Path(raw)).resolve() in scoped
+    )
 
 
 def _render_text(result: LintResult, stream) -> None:
@@ -152,9 +212,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    project = Project()
-    for file_path in iter_python_files(options.paths):
-        project.add_file(file_path)
+    flow = not (options.no_flow or options.changed_only)
+    project = Project(flow=flow)
+    if options.changed_only:
+        files = changed_files(options.paths)
+        if files is None:
+            print(
+                "repro-lint: --changed-only requires a git checkout",
+                file=sys.stderr,
+            )
+            return 2
+        for file_path in files:
+            project.add_file(file_path)
+    else:
+        for file_path in iter_python_files(options.paths):
+            project.add_file(file_path)
     result = project.run()
     if options.dot is not None:
         Path(options.dot).write_text(

@@ -52,6 +52,7 @@ __all__ = [
     "Project",
     "Rule",
     "ProjectRule",
+    "FlowRule",
     "REGISTRY",
     "register",
     "analyze_source",
@@ -121,13 +122,19 @@ LAYERS: dict[str, int] = {
 
 @dataclass(frozen=True, order=True)
 class Violation:
-    """One rule hit, pinned to a file position."""
+    """One rule hit, pinned to a file position.
+
+    ``witness`` carries the flow families' structured evidence (the two
+    conflicting call chains of a CC race, a taint path) and is excluded
+    from ordering/equality — it is a payload, not an identity.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    witness: dict | None = field(default=None, compare=False)
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -156,6 +163,9 @@ class FileContext:
         self.path = path
         self.source = source
         self.module = module
+        #: Set by :class:`Project`: whether this run includes the
+        #: whole-program flow pass (FS004 defers to FS005 when it does).
+        self.flow_enabled = False
         self.tree = ast.parse(source, filename=path)
         self.parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(self.tree):
@@ -265,6 +275,26 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
 
+class FlowRule(ProjectRule):
+    """A rule over the whole-program dataflow pass (``repro.analysis.flow``).
+
+    Flow rules share one :class:`~repro.analysis.flow.FlowProgram` —
+    call graph, lockset, budget-coverage and taint results — built once
+    per :meth:`Project.run` when flow is enabled (the default for
+    ``repro-lint``; ``--changed-only``/``--no-flow`` runs skip it).
+    """
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[tuple[FileContext, Violation]]:
+        return iter(())
+
+    def check_flow(
+        self, program: "object"
+    ) -> Iterator[tuple[FileContext, Violation]]:
+        raise NotImplementedError
+
+
 #: All registered rules, id -> instance.  The ``rules_*`` modules
 #: populate this at import time via :func:`register`.
 REGISTRY: dict[str, Rule] = {}
@@ -287,6 +317,7 @@ def _ensure_rules_loaded() -> None:
         rules_determinism,
         rules_exactness,
         rules_faults,
+        rules_flow,
         rules_layering,
     )
 
@@ -299,6 +330,9 @@ class LintResult:
     suppressed: list[Suppression] = field(default_factory=list)
     files_scanned: int = 0
     parse_errors: list[Violation] = field(default_factory=list)
+    #: Call-graph / coverage / taint statistics of the flow pass (the
+    #: ``flow`` block of ``BENCH_lint.json``); ``None`` on no-flow runs.
+    flow_stats: dict | None = None
 
     @property
     def clean(self) -> bool:
@@ -306,17 +340,27 @@ class LintResult:
 
 
 class Project:
-    """A set of files linted together (needed for layering rules)."""
+    """A set of files linted together (needed for layering rules).
 
-    def __init__(self) -> None:
+    *flow* controls the whole-program pass: the flow rule families
+    (CC/FS005/DT004) only make sense when the project holds the whole
+    tree, so single-file helpers (:func:`analyze_source`) and
+    ``--changed-only`` runs disable it — and FS004, the per-file
+    fallback FS005 supersedes, runs exactly when flow does not.
+    """
+
+    def __init__(self, flow: bool = True) -> None:
         _ensure_rules_loaded()
+        self.flow = flow
         self.contexts: list[FileContext] = []
         self.result = LintResult()
 
     def add_source(self, source: str, path: str, module: str | None = None) -> None:
         """Add an in-memory file (the test hook; also used by the CLI)."""
         try:
-            self.contexts.append(FileContext(path, source, module))
+            ctx = FileContext(path, source, module)
+            ctx.flow_enabled = self.flow
+            self.contexts.append(ctx)
         except SyntaxError as exc:
             self.result.parse_errors.append(
                 Violation(
@@ -346,9 +390,19 @@ class Project:
                 for violation in rule.check(ctx):
                     self._record(ctx, violation)
         for rule in REGISTRY.values():
-            if isinstance(rule, ProjectRule):
+            if isinstance(rule, ProjectRule) and not isinstance(rule, FlowRule):
                 for ctx, violation in rule.check_project(self.contexts):
                     self._record(ctx, violation)
+        if self.flow and self.contexts:
+            # Deferred import: the flow package sits on top of this one.
+            from repro.analysis.flow import FlowProgram
+
+            program = FlowProgram(self.contexts)
+            for rule in REGISTRY.values():
+                if isinstance(rule, FlowRule):
+                    for ctx, violation in rule.check_flow(program):
+                        self._record(ctx, violation)
+            self.result.flow_stats = program.stats()
         self.result.violations.sort()
         self.result.suppressed.sort(key=lambda s: s.violation)
         return self.result
@@ -389,9 +443,9 @@ def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
                 yield file_path
 
 
-def lint_paths(paths: Iterable[PathLike]) -> LintResult:
+def lint_paths(paths: Iterable[PathLike], flow: bool = True) -> LintResult:
     """Lint every Python file under *paths* with all registered rules."""
-    project = Project()
+    project = Project(flow=flow)
     for file_path in iter_python_files(paths):
         project.add_file(file_path)
     return project.run()
@@ -400,7 +454,11 @@ def lint_paths(paths: Iterable[PathLike]) -> LintResult:
 def analyze_source(
     source: str, module: str | None = None, path: str = "<memory>"
 ) -> LintResult:
-    """Lint one in-memory file (per-file rules plus single-file layering)."""
-    project = Project()
+    """Lint one in-memory file (per-file rules plus single-file layering).
+
+    Single-file runs are per-file by construction, so the whole-program
+    flow pass is off and FS004 (the per-file budget heuristic) is live.
+    """
+    project = Project(flow=False)
     project.add_source(source, path, module)
     return project.run()

@@ -1,0 +1,142 @@
+"""Whole-program rule families: CC (races), FS005 (budgets), DT004 (taint).
+
+These rules consume one shared :class:`~repro.analysis.flow.FlowProgram`
+per run (see :class:`~repro.analysis.lint.engine.FlowRule`) and so only
+fire on whole-tree runs — ``repro-lint`` in CI, ``lint_paths`` in the
+test suite — never on single-file or ``--changed-only`` runs, where the
+call graph would be a fragment and every "unreachable"/"unlocked"
+conclusion a lie.
+
+Each CC/DT004 violation carries a structured ``witness`` in the JSON
+report: the shared field plus the two conflicting call chains (CC), or
+the source-to-sink path (DT004), so a finding can be replayed by hand
+instead of taken on faith.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.lint.engine import (
+    FileContext,
+    FlowRule,
+    Violation,
+    register,
+)
+
+__all__ = ["SharedFieldRaceRule", "GlobalRaceRule", "BudgetCoverageRule", "TaintFlowRule"]
+
+
+def _context_for(program, path: str) -> FileContext | None:
+    for ctx in program.contexts:
+        if ctx.path == path:
+            return ctx
+    return None
+
+
+@register
+class SharedFieldRaceRule(FlowRule):
+    id = "CC001"
+    family = "concurrency"
+    summary = "shared instance field reachable outside its guarding lock"
+
+    def check_flow(self, program) -> Iterator[tuple[FileContext, Violation]]:
+        for report in program.locks.races():
+            chain = " -> ".join(report.witness()["accesses"][1]["call_chain"])
+            yield report.ctx, Violation(
+                path=report.ctx.path,
+                line=report.node_line,
+                col=report.node_col,
+                rule=self.id,
+                message=(
+                    f"field {report.field_name} is written holding "
+                    f"{sorted(report.first_locks) or 'no locks'} but also "
+                    f"accessed at line {report.second.line} holding "
+                    f"{sorted(report.second_locks) or 'no locks'} "
+                    f"(disjoint locksets; second chain: {chain}); guard both "
+                    "with one lock or suppress with the happens-before "
+                    "argument"
+                ),
+                witness=report.witness(),
+            )
+
+
+@register
+class GlobalRaceRule(FlowRule):
+    id = "CC002"
+    family = "concurrency"
+    summary = "module global mutated without a consistent guarding lock"
+
+    def check_flow(self, program) -> Iterator[tuple[FileContext, Violation]]:
+        for report in program.locks.global_races():
+            yield report.ctx, Violation(
+                path=report.ctx.path,
+                line=report.node_line,
+                col=report.node_col,
+                rule=self.id,
+                message=(
+                    f"module global {report.field_name} is rebound at line "
+                    f"{report.first.line} and accessed at line "
+                    f"{report.second.line} with disjoint locksets; guard "
+                    "both sides with one lock or suppress with the "
+                    "happens-before argument"
+                ),
+                witness=report.witness(),
+            )
+
+
+@register
+class BudgetCoverageRule(FlowRule):
+    id = "FS005"
+    family = "fault-safety"
+    summary = "entry-reachable loop with no budget poll on any call path"
+
+    def check_flow(self, program) -> Iterator[tuple[FileContext, Violation]]:
+        coverage = program.budget
+        for finding in coverage.findings():
+            if finding.covered:
+                continue
+            info = program.graph.functions[finding.function]
+            chain = " -> ".join(finding.entry_chain)
+            yield info.ctx, Violation(
+                path=info.ctx.path,
+                line=finding.node.lineno,
+                col=finding.node.col_offset,
+                rule=self.id,
+                message=(
+                    f"loop in {finding.function} is reachable from a "
+                    f"deadline-bearing entry point ({chain}) but no call "
+                    "path to it polls a ComputeBudget; thread a budget "
+                    "through the chain or poll in the loop"
+                ),
+                witness={
+                    "function": finding.function,
+                    "entry_chain": list(finding.entry_chain),
+                },
+            )
+
+
+@register
+class TaintFlowRule(FlowRule):
+    id = "DT004"
+    family = "determinism"
+    summary = "nondeterminism source flows into a fingerprint/artifact sink"
+
+    def check_flow(self, program) -> Iterator[tuple[FileContext, Violation]]:
+        for finding in program.taint.findings:
+            ctx = _context_for(program, finding.path)
+            if ctx is None:
+                continue
+            yield ctx, Violation(
+                path=finding.path,
+                line=finding.line,
+                col=0,
+                rule=self.id,
+                message=(
+                    f"value derived from {finding.source.label} (line "
+                    f"{finding.source.line}) reaches {finding.sink}; "
+                    "fingerprints, cache keys and artifacts must be pure "
+                    "functions of request content"
+                ),
+                witness=finding.witness(),
+            )

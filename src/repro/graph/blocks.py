@@ -141,9 +141,9 @@ class _UnionFind:
     def find(self, x: int) -> int:
         parent = self.parent
         root = x
-        while parent[root] != root:  # repro-lint: disable=FS004 -- path walk bounded by forest depth <= n
+        while parent[root] != root:
             root = parent[root]
-        while parent[x] != root:  # repro-lint: disable=FS004 -- path compression retraces the same <= n steps
+        while parent[x] != root:
             parent[x], x = root, parent[x]
         return root
 

@@ -164,7 +164,7 @@ def _trailing_zeros(counters: np.ndarray) -> np.ndarray:
     flips = np.zeros(counters.shape, dtype=np.int64)
     rem = counters.copy()
     pending = (rem & 1) == 0
-    while pending.any():  # repro-lint: disable=FS004 -- at most n<=62 passes, one per bit position
+    while pending.any():
         flips[pending] += 1
         rem[pending] >>= 1
         pending &= (rem & 1) == 0

@@ -66,7 +66,7 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> tuple[lis
             else:
                 distance[u] = _INF
         found_free = False
-        while queue:  # repro-lint: disable=FS004 -- BFS enqueues each left vertex at most once
+        while queue:
             u = queue.popleft()
             for v in adjacency[u]:
                 w = match_right[v]
@@ -88,7 +88,7 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> tuple[lis
         return False
 
     size = 0
-    while bfs():  # repro-lint: disable=FS004 -- Hopcroft-Karp runs O(sqrt(V)) phases
+    while bfs():
         for u in range(n_left):
             if match_left[u] == -1 and dfs(u):
                 size += 1

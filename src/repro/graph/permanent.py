@@ -65,9 +65,9 @@ def _matrix_blocks(matrix: np.ndarray) -> list[tuple[list[int], list[int]]]:
 
     def find(x: int) -> int:
         root = x
-        while parent[root] != root:  # repro-lint: disable=FS004 -- path walk bounded by forest depth <= 2n
+        while parent[root] != root:
             root = parent[root]
-        while parent[x] != root:  # repro-lint: disable=FS004 -- path compression retraces the same <= 2n steps
+        while parent[x] != root:
             parent[x], x = root, parent[x]
         return root
 

@@ -135,7 +135,7 @@ def propagate_degree_one(
         item_adj[i] = {j}
         anon_adj[j] = {i}
 
-    while queue:  # repro-lint: disable=FS004 -- each node is forced (and so enqueued) at most once
+    while queue:
         side, node = queue.popleft()
         if side == "item":
             if removed_item[node] or len(item_adj[node]) != 1:

@@ -87,36 +87,55 @@ def solver_from_instance(
     )
 
 
+class _Session:
+    """One live solver plus the lock that serializes steps against it.
+
+    :class:`~repro.attack.solver.ConsistencySolver` is single-threaded
+    by design; two ``/crack/step`` requests naming the same session can
+    race on every piece of solver state (``_step``, the adjacency
+    restriction, the emitted-event dedup sets).  The store lock only
+    guards the session *table* — this per-session lock is what makes
+    concurrent steps against one session take turns.
+    """
+
+    __slots__ = ("solver", "lock")
+
+    def __init__(self, solver: ConsistencySolver) -> None:
+        self.solver = solver
+        self.lock = threading.Lock()
+
+
 class CrackSessionStore:
     """The live solver sessions behind ``POST /crack/step``."""
 
     def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS) -> None:
         self.max_sessions = max_sessions
         self._lock = threading.Lock()
-        self._sessions: OrderedDict[str, ConsistencySolver] = OrderedDict()
+        self._sessions: OrderedDict[str, _Session] = OrderedDict()
         self._counter = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
 
-    def _open(self, instance: Mapping[str, Any]) -> tuple[str, ConsistencySolver]:
-        solver = solver_from_instance(instance)
+    def _open(self, instance: Mapping[str, Any]) -> tuple[str, _Session]:
+        session = _Session(solver_from_instance(instance))
         with self._lock:
             self._counter += 1
             session_id = f"crack-{self._counter}"
-            self._sessions[session_id] = solver
+            self._sessions[session_id] = session
+            # repro-lint: disable-next-line=FS005 -- eviction pops at most len-cap sessions, each O(1); no budget applies to table upkeep
             while len(self._sessions) > self.max_sessions:
                 self._sessions.popitem(last=False)
-        return session_id, solver
+        return session_id, session
 
-    def _resume(self, session_id: str) -> ConsistencySolver:
+    def _resume(self, session_id: str) -> _Session:
         with self._lock:
-            solver = self._sessions.get(session_id)
-            if solver is None:
+            session = self._sessions.get(session_id)
+            if session is None:
                 raise SolverError(f"unknown or expired crack session {session_id!r}")
             self._sessions.move_to_end(session_id)
-            return solver
+            return session
 
     def _retire(self, session_id: str) -> None:
         with self._lock:
@@ -132,35 +151,42 @@ class CrackSessionStore:
         """
         instance = payload.get("instance")
         session_raw = payload.get("session")
-        events: list[dict[str, Any]] = []
-        if instance is not None:
+        opened = instance is not None
+        if opened:
             if session_raw is not None:
                 raise SolverError("pass 'instance' to open or 'session' to continue, not both")
             if not isinstance(instance, Mapping):
                 raise SolverError("'instance' must be a JSON object")
-            session_id, solver = self._open(instance)
-            events.extend(event.to_json() for event in solver.bootstrap())
+            session_id, session = self._open(instance)
         else:
             if not isinstance(session_raw, str):
                 raise SolverError("a step needs an 'instance' to open or a 'session' id")
             session_id = session_raw
-            solver = self._resume(session_id)
+            session = self._resume(session_id)
 
         observations = payload.get("observations", [])
         if not isinstance(observations, Sequence) or isinstance(observations, (str, bytes)):
             raise SolverError("'observations' must be a list of observation objects")
-        for raw in observations:
-            if not isinstance(raw, Mapping):
-                raise SolverError("each observation must be a JSON object")
-            observation = Observation.from_json(raw)
-            events.extend(event.to_json() for event in solver.ingest(observation))
-            if solver.closed:
-                break
-        if solver.closed:
+
+        events: list[dict[str, Any]] = []
+        with session.lock:
+            solver = session.solver
+            if opened:
+                events.extend(event.to_json() for event in solver.bootstrap())
+            for raw in observations:
+                if not isinstance(raw, Mapping):
+                    raise SolverError("each observation must be a JSON object")
+                observation = Observation.from_json(raw)
+                events.extend(event.to_json() for event in solver.ingest(observation))
+                if solver.closed:
+                    break
+            closed = solver.closed
+            summary = solver.summary()
+        if closed:
             self._retire(session_id)
         return {
             "session": session_id,
             "events": events,
-            "summary": solver.summary(),
-            "closed": solver.closed,
+            "summary": summary,
+            "closed": closed,
         }

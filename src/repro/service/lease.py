@@ -106,11 +106,17 @@ class Lease:
     def __init__(self, path: Path, pid: int) -> None:
         self.path = path
         self.pid = pid
+        # One lock serializes the mutable lease state (_heartbeats,
+        # _released, _beater) between the owner thread and the heartbeat
+        # daemon; the Event alone ordered the shutdown but not the
+        # counter/payload writes racing a concurrent release().
+        self._state_lock = threading.Lock()
         self._heartbeats = 0
         self._released = False
         self._stop = threading.Event()
         self._beater: threading.Thread | None = None
-        self._write_payload()
+        with self._state_lock:
+            self._write_payload()
 
     def _write_payload(self) -> None:
         # A lease payload is coordination state, not a cached artifact:
@@ -130,11 +136,12 @@ class Lease:
 
     def heartbeat(self) -> int:
         """Refresh the lease (payload + mtime); returns the beat count."""
-        if self._released:
-            raise ReproError(f"lease {self.path.name} already released")
-        self._heartbeats += 1
-        self._write_payload()
-        return self._heartbeats
+        with self._state_lock:
+            if self._released:
+                raise ReproError(f"lease {self.path.name} already released")
+            self._heartbeats += 1
+            self._write_payload()
+            return self._heartbeats
 
     def start_heartbeat(self, interval_seconds: float) -> None:
         """Refresh the lease every *interval_seconds* in a daemon thread.
@@ -143,8 +150,6 @@ class Lease:
         and, like everything else about a lease, dies with the process:
         a killed owner's lease goes quiet and is taken over by age.
         """
-        if self._beater is not None:
-            return
 
         def beat() -> None:
             while not self._stop.wait(interval_seconds):
@@ -153,10 +158,13 @@ class Lease:
                 except (ReproError, OSError):
                     return  # released concurrently, or the file is gone
 
-        self._beater = threading.Thread(
-            target=beat, name=f"lease-heartbeat-{self.path.name}", daemon=True
-        )
-        self._beater.start()
+        with self._state_lock:
+            if self._beater is not None:
+                return
+            self._beater = threading.Thread(
+                target=beat, name=f"lease-heartbeat-{self.path.name}", daemon=True
+            )
+            self._beater.start()
 
     def stop_heartbeat(self) -> None:
         """Stop the heartbeat thread without touching the lease file.
@@ -167,16 +175,21 @@ class Lease:
         debris a real ``kill -9`` leaves.
         """
         self._stop.set()
-        if self._beater is not None:
-            self._beater.join(timeout=1.0)
-            self._beater = None
+        # Swap the thread handle out under the lock, but join OUTSIDE
+        # it: the beat thread's heartbeat() takes the same lock, so
+        # joining while holding it would deadlock until the timeout.
+        with self._state_lock:
+            beater, self._beater = self._beater, None
+        if beater is not None:
+            beater.join(timeout=1.0)
 
     def release(self) -> None:
         """Unlink the lease file and stop the heartbeat (idempotent)."""
-        if self._released:
-            return
+        with self._state_lock:
+            if self._released:
+                return
+            self._released = True
         self.stop_heartbeat()
-        self._released = True
         try:
             self.path.unlink()
         except FileNotFoundError:
@@ -184,7 +197,8 @@ class Lease:
 
     @property
     def released(self) -> bool:
-        return self._released
+        with self._state_lock:
+            return self._released
 
 
 def _pid_alive(pid: int) -> bool:

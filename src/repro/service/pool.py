@@ -164,6 +164,7 @@ def run_batch(
         for index in job_order:
             submit(index)
 
+        # repro-lint: disable-next-line=FS005 -- dispatcher loop is bounded by pending futures and enforces its own per-job deadline via wait(timeout)
         while pending:
             wait_timeout = None
             if timeout_seconds is not None:

@@ -170,6 +170,7 @@ class _AssessmentHandler(BaseHTTPRequestHandler):
         except (ConnectionError, BrokenPipeError):
             # The client hung up mid-reply; nothing left to answer.
             self.server.engine.metrics.increment("client_disconnects")
+            # repro-lint: disable-next-line=CC001 -- happens-before: a handler instance is per-connection, so do_GET/do_POST on it never run concurrently
             self.close_connection = True
 
     def _read_body(self) -> bytes:

@@ -163,7 +163,7 @@ def simulate_expected_cracks(
             sampler = None
             # Bounded by samples_per_run; the budget (when given) is
             # additionally polled inside every sweep.
-            while len(samples) < samples_per_run:  # repro-lint: disable=FS004 -- budget is threaded into each sweep call below
+            while len(samples) < samples_per_run:
                 if sampler is None or len(samples) % samples_per_seed == 0 and samples:
                     sampler = sampler_class(space, rng=rng)
                     sampler.sweep(burn_in_sweeps, budget=budget)

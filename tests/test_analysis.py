@@ -459,3 +459,619 @@ class TestAnalyzerCli:
         assert payload["violation_counts"]["EX001"] == 1
         assert payload["violation_counts"]["EX002"] == 1
         assert payload["clean"] is False
+
+
+# ---------------------------------------------------------------------------
+# Whole-program flow layer (call graph, CFG, dataflow, CC/FS005/DT004)
+# ---------------------------------------------------------------------------
+
+import ast as _ast
+
+from repro.analysis.flow import FlowProgram
+from repro.analysis.flow.cfg import build_cfg
+from repro.analysis.flow.dataflow import ForwardAnalysis, solve
+
+
+def _flow_result(*files):
+    """Run the full linter over in-memory (source, path, module) files."""
+    project = Project()
+    for source, path, module in files:
+        project.add_source(source, path=path, module=module)
+    return project.run()
+
+
+def _flow_program(*files):
+    project = Project()
+    for source, path, module in files:
+        project.add_source(source, path=path, module=module)
+    return FlowProgram(project.contexts)
+
+
+class TestCallGraph:
+    SOURCE = """
+import threading
+from repro.service.other import helper
+
+class Store:
+    def __init__(self):
+        self.rows = []
+
+    def lookup(self):
+        return self.rows
+
+class Engine:
+    def __init__(self):
+        self.store = Store()
+
+    def run_once(self):
+        self.store.lookup()
+        helper()
+        self._local()
+        threading.Thread(target=self._beat).start()
+
+    def _local(self):
+        pass
+
+    def _beat(self):
+        pass
+"""
+    OTHER = "def helper():\n    pass\n"
+
+    def _graph(self):
+        return _flow_program(
+            (self.SOURCE, "src/repro/service/fake_cg.py", "repro.service.fake_cg"),
+            (self.OTHER, "src/repro/service/other.py", "repro.service.other"),
+        ).graph
+
+    def test_self_import_and_typed_attr_resolution(self):
+        graph = self._graph()
+        callees = graph.callees("repro.service.fake_cg.Engine.run_once")
+        assert "repro.service.fake_cg.Store.lookup" in callees  # self.store typed
+        assert "repro.service.other.helper" in callees  # from-import
+        assert "repro.service.fake_cg.Engine._local" in callees  # self method
+
+    def test_constructor_resolves_to_init(self):
+        graph = self._graph()
+        callees = graph.callees("repro.service.fake_cg.Engine.__init__")
+        assert "repro.service.fake_cg.Store.__init__" in callees
+
+    def test_thread_target_recorded(self):
+        graph = self._graph()
+        assert "repro.service.fake_cg.Engine._beat" in graph.thread_targets
+
+    def test_dunder_never_matches_by_name(self):
+        source = (
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "class Child:\n"
+            "    def __init__(self):\n"
+            "        super().__init__()\n"
+        )
+        graph = _flow_program(
+            (source, "src/repro/service/fake_sup.py", "repro.service.fake_sup")
+        ).graph
+        callees = graph.callees("repro.service.fake_sup.Child.__init__")
+        assert "repro.service.fake_sup.Base.__init__" not in callees
+
+    def test_ubiquitous_names_skip_by_name_fallback(self):
+        source = (
+            "class Cache:\n"
+            "    def get(self, key):\n"
+            "        return key\n"
+            "def f(headers):\n"
+            "    return headers.get('x')\n"
+        )
+        graph = _flow_program(
+            (source, "src/repro/service/fake_ub.py", "repro.service.fake_ub")
+        ).graph
+        assert "repro.service.fake_ub.Cache.get" not in graph.callees(
+            "repro.service.fake_ub.f"
+        )
+
+    def test_local_constructor_types_resolve(self):
+        source = (
+            "class Probe:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "    def fire(self):\n"
+            "        pass\n"
+            "def f():\n"
+            "    probe = Probe()\n"
+            "    probe.fire()\n"
+        )
+        graph = _flow_program(
+            (source, "src/repro/service/fake_loc.py", "repro.service.fake_loc")
+        ).graph
+        assert "repro.service.fake_loc.Probe.fire" in graph.callees(
+            "repro.service.fake_loc.f"
+        )
+
+
+class TestControlFlowGraph:
+    @staticmethod
+    def _fn(source):
+        return _ast.parse(source).body[0]
+
+    def test_if_branches_and_join(self):
+        cfg = build_cfg(
+            self._fn("def f(x):\n    if x:\n        a = 1\n    else:\n        a = 2\n    return a\n")
+        )
+        branch = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, _ast.If) for s in b.statements)
+        )
+        assert len(branch.successors) == 2
+
+    def test_while_loops_back(self):
+        cfg = build_cfg(self._fn("def f(x):\n    while x:\n        x -= 1\n    return x\n"))
+        head = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, _ast.While) for s in b.statements)
+        )
+        assert len(head.successors) == 2  # body + fall-through
+        body = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, _ast.AugAssign) for s in b.statements)
+        )
+        assert head.index in body.successors  # back edge
+
+    def test_return_edges_to_exit(self):
+        cfg = build_cfg(self._fn("def f(x):\n    if x:\n        return 1\n    return 2\n"))
+        returners = [
+            b for b in cfg.blocks
+            if any(isinstance(s, _ast.Return) for s in b.statements)
+        ]
+        assert returners and all(cfg.exit in b.successors for b in returners)
+
+
+class _DefinedNames(ForwardAnalysis):
+    """Must-analysis: names assigned on every path (intersection join)."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left & right
+
+    def transfer(self, statement, state):
+        if isinstance(statement, _ast.Assign):
+            names = {
+                t.id for t in statement.targets if isinstance(t, _ast.Name)
+            }
+            return state | names
+        return state
+
+
+class TestDataflow:
+    def test_intersection_join_drops_one_sided_definitions(self):
+        fn = _ast.parse(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "        b = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        ).body[0]
+        cfg = build_cfg(fn)
+        states = solve(cfg, _DefinedNames())
+        returner = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, _ast.Return) for s in b.statements)
+        )
+        assert "a" in states[returner.index]
+        assert "b" not in states[returner.index]
+
+    def test_loop_reaches_fixpoint(self):
+        fn = _ast.parse(
+            "def f(x):\n"
+            "    while x:\n"
+            "        a = 1\n"
+            "    return x\n"
+        ).body[0]
+        cfg = build_cfg(fn)
+        states = solve(cfg, _DefinedNames())  # must terminate
+        assert cfg.exit in states
+
+
+RACY_WORKER = """
+import threading
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def spawn(self):
+        threading.Thread(target=self._bump).start()
+        threading.Thread(target=self._read).start()
+
+    def _bump(self):
+        self._count += 1
+
+    def _read(self):
+        value = self._count
+        return value
+"""
+
+GUARDED_WORKER = """
+import threading
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def spawn(self):
+        threading.Thread(target=self._bump).start()
+        threading.Thread(target=self._read).start()
+
+    def _bump(self):
+        with self._lock:
+            self._count += 1
+
+    def _read(self):
+        with self._lock:
+            value = self._count
+        return value
+"""
+
+
+class TestLocksetRaces:
+    def test_unguarded_shared_field_flagged(self):
+        result = _flow_result(
+            (RACY_WORKER, "src/repro/service/fake_w.py", "repro.service.fake_w")
+        )
+        cc = [v for v in result.violations if v.rule == "CC001"]
+        assert cc, [v.render() for v in result.violations]
+        assert "_count" in cc[0].message
+
+    def test_consistent_lock_passes(self):
+        result = _flow_result(
+            (GUARDED_WORKER, "src/repro/service/fake_w.py", "repro.service.fake_w")
+        )
+        assert "CC001" not in {v.rule for v in result.violations}
+
+    def test_witness_carries_two_chains(self):
+        result = _flow_result(
+            (RACY_WORKER, "src/repro/service/fake_w.py", "repro.service.fake_w")
+        )
+        witness = next(
+            v.witness for v in result.violations if v.rule == "CC001"
+        )
+        assert witness["field"].endswith("Worker._count")
+        chains = [a["call_chain"] for a in witness["accesses"]]
+        assert len(chains) == 2 and all(chains)
+
+    def test_caller_held_lock_propagates_into_callee(self):
+        source = """
+import threading
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def spawn(self):
+        threading.Thread(target=self._locked_bump).start()
+        threading.Thread(target=self._locked_read).start()
+
+    def _locked_bump(self):
+        with self._lock:
+            self._store()
+
+    def _store(self):
+        self._count += 1
+
+    def _locked_read(self):
+        with self._lock:
+            return self._count
+"""
+        result = _flow_result(
+            (source, "src/repro/service/fake_w.py", "repro.service.fake_w")
+        )
+        assert "CC001" not in {v.rule for v in result.violations}
+
+    def test_out_of_scope_module_ignored(self):
+        result = _flow_result(
+            (RACY_WORKER, "src/repro/graph/fake_w.py", "repro.graph.fake_w")
+        )
+        assert "CC001" not in {v.rule for v in result.violations}
+
+
+RACY_GLOBAL = """
+import threading
+
+_LOCK = threading.Lock()
+_STATE = None
+
+def spawn():
+    threading.Thread(target=_set).start()
+    threading.Thread(target=_get).start()
+
+def _set():
+    global _STATE
+    _STATE = 1
+
+def _get():
+    return _STATE
+"""
+
+GUARDED_GLOBAL = """
+import threading
+
+_LOCK = threading.Lock()
+_STATE = None
+
+def spawn():
+    threading.Thread(target=_set).start()
+    threading.Thread(target=_get).start()
+
+def _set():
+    global _STATE
+    with _LOCK:
+        _STATE = 1
+
+def _get():
+    with _LOCK:
+        return _STATE
+"""
+
+
+class TestGlobalRaces:
+    def test_unguarded_global_flagged(self):
+        result = _flow_result(
+            (RACY_GLOBAL, "src/repro/service/fake_g.py", "repro.service.fake_g")
+        )
+        assert "CC002" in {v.rule for v in result.violations}
+
+    def test_guarded_global_passes(self):
+        result = _flow_result(
+            (GUARDED_GLOBAL, "src/repro/service/fake_g.py", "repro.service.fake_g")
+        )
+        assert "CC002" not in {v.rule for v in result.violations}
+
+
+class TestBudgetCoverage:
+    PATH = "src/repro/service/pool.py"
+    MODULE = "repro.service.pool"
+
+    def test_unbudgeted_chain_flagged(self):
+        source = (
+            "def run_batch(jobs):\n"
+            "    _drain(jobs)\n"
+            "def _drain(jobs):\n"
+            "    while jobs:\n"
+            "        jobs.pop()\n"
+        )
+        result = _flow_result((source, self.PATH, self.MODULE))
+        fs = [v for v in result.violations if v.rule == "FS005"]
+        assert fs and "_drain" in fs[0].message
+        assert fs[0].witness["entry_chain"][0] == "repro.service.pool.run_batch"
+
+    def test_direct_poll_covers(self):
+        source = (
+            "def run_batch(jobs, budget):\n"
+            "    while jobs:\n"
+            "        budget.checkpoint()\n"
+            "        jobs.pop()\n"
+        )
+        result = _flow_result((source, self.PATH, self.MODULE))
+        assert "FS005" not in {v.rule for v in result.violations}
+
+    def test_transitively_polling_callee_covers(self):
+        source = (
+            "def run_batch(jobs):\n"
+            "    while jobs:\n"
+            "        _step(jobs)\n"
+            "def _step(jobs):\n"
+            "    budget = _grab()\n"
+            "    budget.checkpoint()\n"
+            "def _grab():\n"
+            "    return None\n"
+        )
+        result = _flow_result((source, self.PATH, self.MODULE))
+        assert "FS005" not in {v.rule for v in result.violations}
+        program = _flow_program((source, self.PATH, self.MODULE))
+        kinds = {f.function: f.coverage for f in program.budget.findings()}
+        assert kinds["repro.service.pool.run_batch"] == "callee"
+
+    def test_budget_aware_caller_amortizes(self):
+        source = (
+            "def run_batch(jobs, budget):\n"
+            "    budget.checkpoint()\n"
+            "    _drain(jobs)\n"
+            "def _drain(jobs):\n"
+            "    while jobs:\n"
+            "        jobs.pop()\n"
+        )
+        result = _flow_result((source, self.PATH, self.MODULE))
+        assert "FS005" not in {v.rule for v in result.violations}
+        program = _flow_program((source, self.PATH, self.MODULE))
+        kinds = {f.function: f.coverage for f in program.budget.findings()}
+        assert kinds["repro.service.pool._drain"] == "amortized"
+
+    def test_unreachable_loop_not_flagged(self):
+        source = (
+            "def helper(jobs):\n"
+            "    while jobs:\n"
+            "        jobs.pop()\n"
+        )
+        result = _flow_result((source, self.PATH, self.MODULE))
+        assert "FS005" not in {v.rule for v in result.violations}
+
+
+TAINTED_FP = """
+import time
+
+def make_fingerprint(payload):
+    stamp = time.time()
+    tag = payload + str(stamp)
+    return compute_fingerprint(tag)
+
+def compute_fingerprint(data):
+    return hash(data)
+"""
+
+SET_ORDER_FP = """
+def items_fingerprint(items):
+    order = list(set(items))
+    return compute_fingerprint(order)
+
+def compute_fingerprint(data):
+    return hash(data)
+"""
+
+SANITIZED_FP = """
+def items_fingerprint(items):
+    order = sorted(set(items))
+    return compute_fingerprint(order)
+
+def compute_fingerprint(data):
+    return hash(data)
+"""
+
+INTERPROC_FP = """
+import time
+
+def outer():
+    stamp = time.time()
+    return wrap(stamp)
+
+def wrap(value):
+    return compute_fingerprint(value)
+
+def compute_fingerprint(data):
+    return hash(data)
+"""
+
+
+class TestTaintFlow:
+    PATH = "src/repro/recipe/fake_fp.py"
+    MODULE = "repro.recipe.fake_fp"
+
+    def _rules(self, source):
+        result = _flow_result((source, self.PATH, self.MODULE))
+        return {v.rule for v in result.violations}, result
+
+    def test_wall_clock_into_fingerprint_flagged(self):
+        rules, result = self._rules(TAINTED_FP)
+        assert "DT004" in rules
+        finding = next(v for v in result.violations if v.rule == "DT004")
+        assert "time.time()" in finding.message
+        assert finding.witness["sink"] == "compute_fingerprint"
+
+    def test_set_iteration_order_flagged(self):
+        rules, _ = self._rules(SET_ORDER_FP)
+        assert "DT004" in rules
+
+    def test_sorted_sanitizes(self):
+        rules, _ = self._rules(SANITIZED_FP)
+        assert "DT004" not in rules
+
+    def test_taint_crosses_function_boundary(self):
+        rules, result = self._rules(INTERPROC_FP)
+        assert "DT004" in rules
+        finding = next(v for v in result.violations if v.rule == "DT004")
+        assert finding.witness["source"]["label"] == "time.time()"
+
+
+class TestChangedOnly:
+    def _git(self, cwd, *args):
+        import subprocess
+
+        subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            env={
+                "PATH": "/usr/bin:/bin",
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(cwd),
+            },
+        )
+
+    def test_changed_only_lints_only_dirty_files(self, tmp_path, monkeypatch, capsys):
+        self._git(tmp_path, "init", "-q")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("x = 1\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        dirty.write_text("try:\n    pass\nexcept:\n    pass\n")
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--changed-only", "--format", "json", "."]) == 1
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 1
+        assert payload["violation_counts"] == {"FS001": 1}
+        assert payload["flow"] is None  # changed-only implies --no-flow
+
+    def test_changed_only_clean_exit_zero(self, tmp_path, monkeypatch, capsys):
+        self._git(tmp_path, "init", "-q")
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--changed-only", "."]) == 0
+        capsys.readouterr()
+
+    def test_changed_only_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "a.py").write_text("x = 1\n")
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+        assert lint_main(["--changed-only", "."]) == 2
+        capsys.readouterr()
+
+    def test_untracked_files_are_linted(self, tmp_path, monkeypatch, capsys):
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        fresh = tmp_path / "fresh.py"
+        fresh.write_text("try:\n    pass\nexcept:\n    pass\n")
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--changed-only", "."]) == 1
+        capsys.readouterr()
+
+
+class TestFlowReportSchema:
+    def test_flow_stats_in_project_result(self):
+        result = _flow_result(
+            ("x = 1\n", "src/repro/service/fake_s.py", "repro.service.fake_s")
+        )
+        assert result.flow_stats is not None
+        assert set(result.flow_stats) == {
+            "call_graph",
+            "thread_roots",
+            "budget_coverage",
+            "taint",
+        }
+
+    def test_no_flow_project_skips_flow_rules(self):
+        project = Project(flow=False)
+        project.add_source(
+            RACY_WORKER,
+            path="src/repro/service/fake_w.py",
+            module="repro.service.fake_w",
+        )
+        result = project.run()
+        assert "CC001" not in {v.rule for v in result.violations}
+        assert result.flow_stats is None
+
+    def test_witness_lands_in_json_payload(self):
+        result = _flow_result(
+            (RACY_WORKER, "src/repro/service/fake_w.py", "repro.service.fake_w")
+        )
+        payload = result_to_json(result)
+        entries = [v for v in payload["violations"] if v["rule"] == "CC001"]
+        assert entries and "witness" in entries[0]
+        assert entries[0]["witness"]["accesses"]
