@@ -1,5 +1,5 @@
 """Command-line interfaces: ``repro-assess``, ``repro-batch``,
-``repro-serve``, ``repro-crack``.
+``repro-serve``, ``repro-loadgen``, ``repro-chaos``, ``repro-crack``.
 
 ``repro-assess`` runs the Assess-Risk recipe (Figure 8) on a calibrated
 benchmark or a FIMI ``.dat`` file, optionally followed by the
@@ -23,6 +23,8 @@ Examples::
     repro-serve --async --cache-dir /var/cache/repro --shared-cache
     repro-loadgen --flavors threaded,async --connections 8,64
     repro-loadgen --smoke
+    repro-chaos --seed 7 --duration 12
+    repro-chaos --smoke
     repro-crack --instance staircase.json < observations.jsonl
     repro-crack --instance release.json --observations feed.jsonl --watch
     repro-crack --smoke
@@ -61,6 +63,8 @@ __all__ = [
     "build_serve_parser",
     "loadgen_main",
     "build_loadgen_parser",
+    "chaos_main",
+    "build_chaos_parser",
     "crack_main",
     "build_crack_parser",
 ]
@@ -587,6 +591,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "processes: cold computes are single-flighted across processes "
         "through lease files",
     )
+    parser.add_argument(
+        "--lease-stale",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds without a heartbeat before a shared-cache lease is "
+        "considered abandoned and taken over (default 5.0; chaos runs "
+        "shrink this so crashed owners recover within the run)",
+    )
     return parser
 
 
@@ -605,11 +618,18 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     args = build_serve_parser().parse_args(argv)
     try:
         schedule = None if args.faults is None else load_schedule(args.faults)
+        from repro.service.lease import DEFAULT_STALE_AFTER
+
         engine = AssessmentEngine(
             cache=AssessmentCache(
                 capacity=args.capacity,
                 directory=args.cache_dir,
                 shared=args.shared_cache,
+                lease_stale_seconds=(
+                    DEFAULT_STALE_AFTER
+                    if args.lease_stale is None
+                    else args.lease_stale
+                ),
             )
         )
         if args.use_async:
@@ -805,6 +825,13 @@ def loadgen_main(argv: Sequence[str] | None = None) -> int:
                         f"hit {cell.cache_hit_ratio:.1%}",
                         flush=True,
                     )
+                fleet = pool.supervisor.status()
+                print(
+                    f"supervisor: {len(fleet['replicas'])} replica(s), "
+                    f"restarts={fleet['restarts']}, "
+                    f"crash_loops={fleet['crash_loops']}",
+                    flush=True,
+                )
 
         shared_trial = None
         if not args.no_shared_trial:
@@ -863,15 +890,266 @@ def loadgen_main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if not report.get("chaos"):
+            print(
+                f"error: {output} lacks a chaos section — regenerate "
+                "with a full repro-chaos run",
+                file=sys.stderr,
+            )
+            return 1
         print(
             f"smoke OK: both flavors served; committed {output.name} has "
-            f"{len(report['trajectory'])} trajectory record(s)"
+            f"{len(report['trajectory'])} trajectory record(s) and "
+            f"{len(report['chaos'])} chaos record(s)"
         )
         return 0
 
     append_trajectory(output, cells, shared_trial, label=args.label)
     print(f"appended {len(cells)} cell(s) to {output}")
     return 0
+
+
+# -- repro-chaos ------------------------------------------------------------
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """The ``repro-chaos`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Chaos harness for the serving stack: generates a "
+        "replayable randomized event schedule (kill -9, SIGTERM, fault "
+        "bursts, overload spikes) from a seed, fires it at a supervised "
+        "replica pool under live load, then verifies that nothing broke "
+        "(see docs/robustness.md).",
+    )
+    _add_version_flag(parser)
+    parser.add_argument("--seed", type=int, default=0, help="schedule seed")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=12.0,
+        metavar="SECONDS",
+        help="length of the chaos window (default 12.0, minimum 6.0)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="supervised server processes sharing one cache (default 2)",
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=6,
+        help="persistent client connections driving load (default 6)",
+    )
+    parser.add_argument(
+        "--flavor",
+        choices=("threaded", "async"),
+        default="threaded",
+        help="server flavor under test (default threaded)",
+    )
+    parser.add_argument(
+        "--profiles",
+        type=int,
+        default=18,
+        help="distinct request fingerprints in the workload (default 18)",
+    )
+    parser.add_argument(
+        "--lease-stale",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="lease staleness window forwarded to every replica "
+        "(default 1.0 — short, so killed owners are taken over quickly)",
+    )
+    parser.add_argument(
+        "--min-kills",
+        type=int,
+        default=3,
+        help="SIGKILLs the schedule must deliver (default 3)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        metavar="PATH",
+        default=None,
+        help="keep the shared cache and burst schedules here for "
+        "post-mortem debugging (default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--label",
+        default="chaos",
+        help="label recorded with this run in the chaos section",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="BENCH_service.json path (default: repo root next to src/)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seeded bounded run: asserts >= --min-kills kills delivered, "
+        "zero verifier violations, a reproducible schedule digest, and a "
+        "chaos section in the committed BENCH_service.json; writes nothing",
+    )
+    return parser
+
+
+def _print_chaos_record(record: dict[str, object]) -> None:
+    client = record["client"]
+    delivered = record["events_delivered"]
+    fleet = record["supervisor"]
+    verifier = record["verifier"]
+    assert isinstance(client, dict)
+    assert isinstance(delivered, dict)
+    assert isinstance(fleet, dict)
+    assert isinstance(verifier, dict)
+    print(
+        f"schedule {record['schedule_digest']} (seed {record['seed']}): "
+        f"delivered kills={delivered['kills']} terms={delivered['terms']} "
+        f"bursts={delivered['bursts']} spikes={delivered['spikes']}",
+        flush=True,
+    )
+    print(
+        f"client: {client['requests']} requests, {client['errors']} "
+        f"connection errors, {client['reconnects']} reconnects, "
+        f"{client['fingerprints_answered']} fingerprints answered",
+        flush=True,
+    )
+    print(
+        f"supervisor: restarts={fleet['restarts']}, "
+        f"crash_loops={fleet['crash_loops']}, "
+        f"sigkill_escalations={fleet['sigkill_escalations']}",
+        flush=True,
+    )
+    checks = verifier["checks"]
+    assert isinstance(checks, dict)
+    print(
+        f"verifier: {'PASS' if verifier['ok'] else 'FAIL'} — "
+        f"{checks.get('artifacts', 0)} artifacts, "
+        f"{checks.get('commits_logged', 0)} commits, "
+        f"compute excess {checks.get('compute_excess', 0)} "
+        f"(allowance {checks.get('compute_excess_allowance', 0)})",
+        flush=True,
+    )
+    violations = verifier["violations"]
+    assert isinstance(violations, list)
+    for violation in violations:
+        assert isinstance(violation, dict)
+        print(
+            f"violation [{violation['kind']}]: {violation['message']}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
+def chaos_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-chaos``; returns a process exit code."""
+    import tempfile
+    from contextlib import ExitStack
+    from pathlib import Path
+
+    from repro.service.chaos import (
+        append_chaos,
+        generate_schedule,
+        run_chaos,
+        schedule_digest,
+    )
+
+    args = build_chaos_parser().parse_args(argv)
+    if args.smoke:
+        # Bounded, seeded gate for CI: the same parameters every time, so
+        # a red run always replays with ``repro-chaos --seed 7 --run-dir d``.
+        args.seed, args.duration = 7, 10.0
+        args.replicas, args.connections = 2, 6
+        args.flavor, args.profiles = "threaded", 18
+        args.lease_stale, args.min_kills = 1.0, 3
+
+    with ExitStack() as stack:
+        if args.run_dir is None:
+            run_dir = Path(
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-chaos-")
+                )
+            )
+        else:
+            run_dir = Path(args.run_dir)
+        try:
+            result = run_chaos(
+                run_dir,
+                seed=args.seed,
+                duration_seconds=args.duration,
+                replicas=args.replicas,
+                connections=args.connections,
+                flavor=args.flavor,
+                profiles=args.profiles,
+                lease_stale_seconds=args.lease_stale,
+                min_kills=args.min_kills,
+                label=args.label,
+            )
+        except (ReproError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        _print_chaos_record(result.record)
+        if not result.report.ok and args.run_dir is None:
+            print(
+                "hint: rerun with --run-dir PATH to keep the cache "
+                "directory and burst schedules for post-mortem",
+                file=sys.stderr,
+            )
+
+    delivered_kills = result.delivered.kills
+    if delivered_kills < args.min_kills:
+        print(
+            f"error: schedule promised {args.min_kills} kills but only "
+            f"{delivered_kills} landed",
+            file=sys.stderr,
+        )
+        return 1
+
+    output = _default_bench_path() if args.output is None else Path(args.output)
+    if args.smoke:
+        if not result.report.ok:
+            print("error: verifier found violations", file=sys.stderr)
+            return 1
+        replayed = schedule_digest(
+            generate_schedule(
+                args.seed,
+                args.duration,
+                args.replicas,
+                min_kills=args.min_kills,
+                lease_stale_seconds=args.lease_stale,
+            )
+        )
+        if replayed != result.record["schedule_digest"]:
+            print(
+                f"error: schedule digest is not reproducible "
+                f"({replayed} != {result.record['schedule_digest']})",
+                file=sys.stderr,
+            )
+            return 1
+        if not output.exists():
+            print(f"error: {output} is not committed", file=sys.stderr)
+            return 1
+        report = json.loads(output.read_text())
+        if not report.get("chaos"):
+            print(
+                f"error: {output} lacks a chaos section — regenerate "
+                "with a full repro-chaos run",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"smoke OK: {delivered_kills} kills survived; committed "
+            f"{output.name} has {len(report['chaos'])} chaos record(s)"
+        )
+        return 0
+
+    append_chaos(output, result.record)
+    print(f"appended chaos record to {output}")
+    return 0 if result.report.ok else 1
 
 
 # -- repro-crack ------------------------------------------------------------

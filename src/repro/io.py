@@ -264,7 +264,7 @@ def save_json(payload: dict, path: PathLike) -> None:
 def save_json_atomic(
     payload: dict,
     path: PathLike,
-    fault_point: Callable[[str], None] | None = None,
+    fault_point: Callable[[str, Path], None] | None = None,
 ) -> None:
     """Write a serialized artifact so readers never see a torn file.
 
@@ -274,10 +274,12 @@ def save_json_atomic(
     A crash at any point leaves either the old artifact or an orphan
     ``*.tmp`` file, never a half-written JSON document at *path*.
 
-    *fault_point*, when given, is called with ``"tmp"`` (inside the open
-    temp file, before the JSON is written) and ``"replace"`` (after the
-    temp file is durable, before the rename) — the hook the service
-    layer's fault-injection harness uses to simulate mid-write crashes.
+    *fault_point*, when given, is called with ``("tmp", tmp_path)``
+    (inside the open temp file, before the JSON is written) and
+    ``("replace", tmp_path)`` (after the temp file is durable, before
+    the rename) — the hook the service layer's fault-injection harness
+    uses to simulate mid-write crashes and torn writes (the hook gets
+    the temp path so a ``torn_write`` rule can truncate it).
     Ordinary exceptions clean the temp file up; a
     :class:`BaseException` (e.g. an injected crash) leaves it behind,
     exactly as a killed process would.
@@ -289,13 +291,13 @@ def save_json_atomic(
     try:
         with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
             if fault_point is not None:
-                fault_point("tmp")
+                fault_point("tmp", Path(tmp_name))
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
         if fault_point is not None:
-            fault_point("replace")
+            fault_point("replace", Path(tmp_name))
         os.replace(tmp_name, target)
     except Exception:
         # A survivable failure: don't leak the temp file.  BaseException

@@ -36,7 +36,17 @@ parallel engine with an HTTP front end:
 * :mod:`repro.service.loadgen` — the replayable load harness behind
   ``repro-loadgen`` and the tracked ``BENCH_service.json`` trajectory.
 * :mod:`repro.service.faults` — deterministic fault injection (errors,
-  crashes, latency) for testing the layer's failure semantics.
+  crashes, latency, ENOSPC, fsync failures, torn writes, clock skew)
+  for testing the layer's failure semantics.
+* :mod:`repro.service.supervisor` — replica lifecycle management:
+  health probing, restart with exponential backoff + jitter, crash-loop
+  detection, SIGTERM-then-SIGKILL shutdown escalation.
+* :mod:`repro.service.chaos` — the seeded chaos harness behind
+  ``repro-chaos``: replayable kill/fault/overload schedules fired at a
+  supervised pool under live load.
+* :mod:`repro.service.verify` — the post-mortem verifier: artifact
+  integrity, single-flight commit-log audit, debris recovery, and
+  byte-identical oracle replay after a chaos run.
 """
 
 from repro.budget import BudgetExceeded, ComputeBudget, PartialEstimate
@@ -72,6 +82,12 @@ from repro.service.server import (
     run_until_signal,
     serve,
 )
+from repro.service.supervisor import (
+    ReplicaSupervisor,
+    RestartPolicy,
+    backoff_delay,
+)
+from repro.service.verify import VerifierReport, Violation, verify_run
 
 __all__ = [
     "AdmissionController",
@@ -92,9 +108,14 @@ __all__ = [
     "MAX_DEADLINE_SECONDS",
     "PartialEstimate",
     "QueueFullError",
+    "ReplicaSupervisor",
+    "RestartPolicy",
     "RouteResponse",
     "ServiceCore",
     "ServiceMetrics",
+    "VerifierReport",
+    "Violation",
+    "backoff_delay",
     "derived_seed",
     "request_budget",
     "fault_point",
@@ -106,4 +127,5 @@ __all__ = [
     "run_batch",
     "run_until_signal",
     "serve",
+    "verify_run",
 ]

@@ -30,10 +30,18 @@ Durability and concurrency guarantees (see ``docs/service.md``,
   as ``coalesced`` when it lands.  A replica that dies mid-compute
   leaves a lease whose heartbeat goes quiet; waiters take it over once
   it is stale.
+* **Commit log** — in shared mode every durably written artifact also
+  appends one line (``<fingerprint> <pid>``) to ``commits.log`` in the
+  cache directory, strictly *after* the atomic rename.  The chaos
+  verifier proves "exactly one cold compute per fingerprint" from this
+  log: a duplicate fingerprint is always a real single-flight violation,
+  while a kill between rename and append merely leaves an artifact
+  without a log line (benign).
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -60,9 +68,12 @@ from repro.service.lease import (
     take_over,
 )
 
-__all__ = ["AssessmentCache"]
+__all__ = ["AssessmentCache", "COMMIT_LOG_NAME"]
 
 PathLike = Union[str, Path]
+
+#: Name of the shared tier's append-only compute commit log.
+COMMIT_LOG_NAME = "commits.log"
 
 #: A ``store`` predicate: return False to keep a result out of the cache
 #: (deadline-degraded partials must never be served to later requests).
@@ -142,6 +153,7 @@ class AssessmentCache:
             "lease_takeovers": 0,
             "lease_timeouts": 0,
             "stale_leases_swept": 0,
+            "disk_commits": 0,
         }
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -281,6 +293,7 @@ class AssessmentCache:
                 for pattern in ("*.json", "*.tmp", "*.lease"):
                     for path in self.directory.glob(pattern):
                         path.unlink(missing_ok=True)
+                self._commit_log_path().unlink(missing_ok=True)
 
     def recover_orphans(self) -> int:
         """Sweep crash leftovers in the directory; returns the count.
@@ -509,7 +522,9 @@ class AssessmentCache:
                 save_json_atomic(
                     payload,
                     self._path(fingerprint),
-                    fault_point=lambda stage: fault_point(f"cache.write.{stage}"),
+                    fault_point=lambda stage, tmp: fault_point(
+                        f"cache.write.{stage}", path=tmp
+                    ),
                 )
         except OSError:
             # The memory tier still serves this entry; a flaky disk must
@@ -517,7 +532,46 @@ class AssessmentCache:
             with self._lock:
                 self._stats["write_errors"] += 1
             return False
+        if self.shared:
+            self._log_commit(fingerprint)
         return True
+
+    def _commit_log_path(self) -> Path:
+        assert self.directory is not None  # shared mode requires a directory
+        return self.directory / COMMIT_LOG_NAME
+
+    def _log_commit(self, fingerprint: str) -> None:
+        """Durably record that this process committed *fingerprint*.
+
+        One ``O_APPEND`` line (``<fingerprint> <pid>``, well under
+        ``PIPE_BUF`` so the append is atomic) written only **after**
+        :func:`save_json_atomic` returned.  The ordering is the whole
+        point: a log entry implies the artifact was already on disk, so
+        any later cold path would have found it — a fingerprint
+        appearing twice therefore means two processes both computed and
+        both committed, a genuine single-flight violation.  The converse
+        crash window (artifact written, process killed before the
+        append) leaves an artifact without a log line, which is benign.
+        The chaos verifier (:mod:`repro.service.verify`) reads this log
+        post-mortem.
+        """
+        line = f"{fingerprint} {os.getpid()}\n".encode("ascii")
+        try:
+            fd = os.open(
+                self._commit_log_path(),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        except OSError:
+            with self._lock:
+                self._stats["write_errors"] += 1
+            return
+        with self._lock:
+            self._stats["disk_commits"] += 1
 
     def _read_disk(self, fingerprint: str) -> RiskAssessment | None:
         if self.directory is None:

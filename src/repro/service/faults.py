@@ -11,7 +11,21 @@ on a deterministic schedule:
   subclass that sails past ``except Exception`` handlers the way a
   ``kill -9`` sails past ``finally``-less cleanup, so tests can observe
   exactly what a died-mid-write process leaves on disk;
-* ``delay`` — sleep for a fixed duration, for timeout and race testing.
+* ``delay`` — sleep for a fixed duration, for timeout and race testing;
+* ``enospc`` — raise ``OSError(ENOSPC)``, modelling a full disk at a
+  write site (the cache treats it as a survivable write error: the
+  result is still answered, just not cached);
+* ``fsync_error`` — raise ``OSError(EIO)``, modelling an fsync that
+  reports the data never reached stable storage (fires naturally at
+  ``cache.write.replace``, after the payload was written);
+* ``torn_write`` — truncate the in-progress file at ``truncate_at``
+  bytes and then crash, leaving exactly the half-written debris a
+  power cut leaves (only path-aware sites — ``cache.write.*`` — can
+  tear; elsewhere it degrades to a plain crash);
+* ``clock_skew`` — no exception at all: firing adds ``skew_seconds``
+  to the injector's clock skew, which :func:`clock_skew` exposes and
+  the lease staleness judgement adds to every lease age, so tests can
+  age a healthy owner's heartbeats into apparent staleness.
 
 Instrumented sites
 ------------------
@@ -25,6 +39,14 @@ site                      fired
 ``cache.lease``           before every ``*.lease`` acquisition attempt in the
                           shared cache tier (crash here ≈ a replica dying at
                           the moment it wins the cross-process race)
+``cache.lease.state``     before every lease classification (``lease_state``);
+                          an injected ``OSError`` exercises the
+                          vanished-mid-stat fallback
+``cache.lease.sweep``     between the staleness check and the unlink of each
+                          stale lease in ``sweep_stale_leases`` (the TOCTOU
+                          window against a releasing owner)
+``cache.lease.takeover``  between the re-check and the unlink in
+                          ``take_over``
 ``engine.compute``        at the top of every (serial or worker) computation
 ``pool.job``              at the start of every pool-worker job
 ``budget.poll``           every slow-path deadline check of a request
@@ -56,6 +78,7 @@ injector (with counter values as of the fork), which is how
 
 from __future__ import annotations
 
+import errno
 import fnmatch
 import threading
 import time
@@ -72,6 +95,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "fault_point",
+    "clock_skew",
     "install",
     "uninstall",
     "current",
@@ -81,13 +105,16 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
-ACTIONS = ("error", "crash", "delay")
+ACTIONS = ("error", "crash", "delay", "enospc", "fsync_error", "torn_write", "clock_skew")
 
 #: Exception types a rule may raise by name.  Deliberately small: the
 #: service layer's retry logic classifies anything outside ReproError as
 #: transient, and these cover both sides of that line.
+#: ``FileNotFoundError`` is here for the lease sweep's TOCTOU window —
+#: the file vanishing under the unlink is a failure mode, not a bug.
 EXCEPTIONS = {
     "OSError": OSError,
+    "FileNotFoundError": FileNotFoundError,
     "TimeoutError": TimeoutError,
     "ConnectionError": ConnectionError,
     "ValueError": ValueError,
@@ -130,6 +157,11 @@ class FaultRule:
         ``action="error"``.
     message:
         Message of the raised exception.
+    truncate_at:
+        Byte offset for ``action="torn_write"``: the in-progress file is
+        truncated here (clamped to its size) before the crash.
+    skew_seconds:
+        Clock skew added by each firing of ``action="clock_skew"``.
     """
 
     site: str
@@ -139,6 +171,8 @@ class FaultRule:
     delay_seconds: float = 0.0
     exception: str = "OSError"
     message: str = "injected fault"
+    truncate_at: int = 0
+    skew_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -158,6 +192,10 @@ class FaultRule:
             raise ReproError(
                 f"fault 'delay_seconds' must be >= 0, got {self.delay_seconds}"
             )
+        if self.truncate_at < 0:
+            raise ReproError(
+                f"fault 'truncate_at' must be >= 0, got {self.truncate_at}"
+            )
 
     def matches(self, site: str) -> bool:
         return fnmatch.fnmatch(site, self.site)
@@ -168,6 +206,7 @@ class FaultRule:
             raise FormatError(f"fault rule needs at least a 'site' key: {payload!r}")
         unknown = set(payload) - {
             "site", "action", "times", "after", "delay_seconds", "exception", "message",
+            "truncate_at", "skew_seconds",
         }
         if unknown:
             raise FormatError(f"unknown fault rule key(s): {sorted(unknown)}")
@@ -179,7 +218,23 @@ class FaultRule:
             delay_seconds=float(payload.get("delay_seconds", 0.0)),
             exception=str(payload.get("exception", "OSError")),
             message=str(payload.get("message", "injected fault")),
+            truncate_at=int(payload.get("truncate_at", 0)),
+            skew_seconds=float(payload.get("skew_seconds", 0.0)),
         )
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``from_json``-shaped payload (for generated schedules)."""
+        return {
+            "site": self.site,
+            "action": self.action,
+            "times": self.times,
+            "after": self.after,
+            "delay_seconds": self.delay_seconds,
+            "exception": self.exception,
+            "message": self.message,
+            "truncate_at": self.truncate_at,
+            "skew_seconds": self.skew_seconds,
+        }
 
 
 @dataclass(frozen=True)
@@ -205,10 +260,15 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._seen = [0] * len(self.rules)
         self._fired = [0] * len(self.rules)
+        self._skew = 0.0
         self.events: list[FaultEvent] = []
 
-    def fire(self, site: str) -> None:
-        """Apply the schedule at *site*; raises when a rule says so."""
+    def fire(self, site: str, path: PathLike | None = None) -> None:
+        """Apply the schedule at *site*; raises when a rule says so.
+
+        *path*, passed by path-aware sites (``cache.write.*``,
+        ``cache.lease.*``), is the file a ``torn_write`` rule mutilates.
+        """
         raising: FaultRule | None = None
         delays: list[float] = []
         with self._lock:
@@ -228,6 +288,9 @@ class FaultInjector:
                 if rule.action == "delay":
                     delays.append(rule.delay_seconds)
                     continue
+                if rule.action == "clock_skew":
+                    self._skew += rule.skew_seconds
+                    continue
                 raising = rule
                 break
         for delay in delays:
@@ -235,9 +298,26 @@ class FaultInjector:
         if raising is not None:
             if raising.action == "crash":
                 raise InjectedCrash(f"injected crash at {site}")
+            if raising.action == "torn_write":
+                if path is not None:
+                    _tear_file(path, raising.truncate_at)
+                raise InjectedCrash(f"injected torn write at {site}")
+            if raising.action == "enospc":
+                raise OSError(
+                    errno.ENOSPC, f"{raising.message} (injected at {site})"
+                )
+            if raising.action == "fsync_error":
+                raise OSError(
+                    errno.EIO, f"{raising.message} (injected at {site})"
+                )
             raise EXCEPTIONS[raising.exception](
                 f"{raising.message} (injected at {site})"
             )
+
+    def skew_seconds(self) -> float:
+        """Accumulated clock skew from every ``clock_skew`` firing so far."""
+        with self._lock:
+            return self._skew
 
     def fired(self, site_pattern: str = "*") -> int:
         """How many events matching *site_pattern* have fired so far."""
@@ -251,7 +331,19 @@ class FaultInjector:
         with self._lock:
             self._seen = [0] * len(self.rules)
             self._fired = [0] * len(self.rules)
+            self._skew = 0.0
             self.events.clear()
+
+
+def _tear_file(path: PathLike, truncate_at: int) -> None:
+    """Truncate *path* at *truncate_at* bytes (clamped; missing file is a no-op)."""
+    target = Path(path)
+    try:
+        size = target.stat().st_size
+        with open(target, "r+b") as handle:
+            handle.truncate(min(truncate_at, size))
+    except OSError:
+        return  # nothing written yet, or the file vanished — plain crash
 
 
 #: The process-wide active injector (inherited by forked pool workers).
@@ -301,11 +393,26 @@ def injected_faults(schedule: "PathLike | dict[str, Any] | list[dict[str, Any]]"
         uninstall()
 
 
-def fault_point(site: str) -> None:
-    """Declare an injectable site; free when no injector is installed."""
+def fault_point(site: str, path: PathLike | None = None) -> None:
+    """Declare an injectable site; free when no injector is installed.
+
+    Path-aware sites pass the file being written so ``torn_write`` rules
+    have something to tear.
+    """
     injector = _ACTIVE
     if injector is not None:
-        injector.fire(site)
+        injector.fire(site, path=path)
+
+
+def clock_skew() -> float:
+    """Active injected clock skew in seconds (``0.0`` with no injector).
+
+    Consumed by :func:`repro.service.lease.lease_state`: the skew is
+    added to every lease age, so a schedule can make a healthy owner's
+    heartbeats look stale without sleeping through the real window.
+    """
+    injector = _ACTIVE
+    return injector.skew_seconds() if injector is not None else 0.0
 
 
 def load_schedule(source: "PathLike | dict[str, Any] | list[dict[str, Any]]") -> FaultInjector:

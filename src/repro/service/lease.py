@@ -49,7 +49,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.errors import ReproError
-from repro.service.faults import fault_point
+from repro.service.faults import clock_skew, fault_point
 
 __all__ = [
     "Lease",
@@ -229,7 +229,11 @@ def acquire_lease(path: PathLike, pid: int | None = None) -> Lease | None:
         fd = os.open(target, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
         return None
-    except OSError as exc:  # pragma: no cover - exotic filesystems
+    except OSError as exc:
+        # Filesystems that report the collision as a bare OSError with
+        # errno EEXIST (rather than the FileExistsError subclass) mean
+        # the same thing: somebody else holds the lease.  Anything else
+        # (ENOSPC, EIO, ...) is a real failure the caller must see.
         if exc.errno == errno.EEXIST:
             return None
         raise
@@ -246,15 +250,26 @@ def lease_state(
     its mtime is older than *stale_after* seconds (no heartbeats — a
     hung owner).  A payload that cannot be parsed (torn write, takeover
     race) falls back to the mtime rule alone.
+
+    The ``cache.lease.state`` fault site fires before the ``stat``:
+    an injected ``OSError`` lands in the vanished-mid-stat fallback
+    (reported as *missing* — the caller's next poll sees the truth),
+    and injected clock skew (:func:`~repro.service.faults.clock_skew`)
+    is added to the observed age, so schedules can make a healthy
+    owner's heartbeats look stale without sleeping through the window.
     """
     target = Path(path)
     try:
+        fault_point("cache.lease.state", path=target)
         stat = target.stat()
     except FileNotFoundError:
         return LeaseState(LeaseState.MISSING)
     except OSError:
+        # A transient stat failure is indistinguishable from a vanished
+        # lease; report MISSING rather than guessing HELD/STALE — the
+        # caller re-polls either way.
         return LeaseState(LeaseState.MISSING)
-    age = max(0.0, time.time() - stat.st_mtime)
+    age = max(0.0, time.time() - stat.st_mtime + clock_skew())
     pid = -1
     heartbeats = -1
     try:
@@ -288,10 +303,13 @@ def take_over(
         return None
     if state.kind == LeaseState.STALE:
         try:
+            fault_point("cache.lease.takeover", path=Path(path))
             Path(path).unlink()
         except FileNotFoundError:
-            pass
+            pass  # a rival taker (or the returning owner) got there first
         except OSError:
+            # Could not break the lease this round; do not race the
+            # recreate against whoever still holds the inode.
             return None
     return acquire_lease(path)
 
@@ -305,15 +323,27 @@ def sweep_stale_leases(
     when a cache opens a directory, so leftovers of crashed replicas do
     not make the first cold miss of a fresh process wait out the
     staleness window.
+
+    The staleness check and the unlink are two filesystem operations,
+    so the sweep inherently races a releasing owner (or a rival
+    sweeper): the lease judged stale may be gone by the time the unlink
+    runs.  That TOCTOU window is expected, not an error — the file
+    vanishing means nothing was leaked, so it is simply not counted.
+    The ``cache.lease.sweep`` fault site fires inside the window so
+    schedules can pin the race deterministically.
     """
     removed = 0
     for path in Path(directory).glob("*.lease"):
-        if lease_state(path, stale_after=stale_after).kind == LeaseState.STALE:
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                continue
-            except OSError:
-                continue
-            removed += 1
+        if lease_state(path, stale_after=stale_after).kind != LeaseState.STALE:
+            continue
+        try:
+            fault_point("cache.lease.sweep", path=path)
+            path.unlink()
+        except FileNotFoundError:
+            # TOCTOU: the owner released (or another sweeper won)
+            # between the staleness check and our unlink.
+            continue
+        except OSError:
+            continue  # transient fs error; the next sweep retries
+        removed += 1
     return removed

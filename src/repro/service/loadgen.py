@@ -39,12 +39,13 @@ import time
 from dataclasses import dataclass, field
 from http.client import HTTPConnection
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import repro
 from repro.errors import ReproError
 from repro.io import load_json, profile_to_json, save_json_atomic
 from repro.data.database import FrequencyProfile
+from repro.service.supervisor import ReplicaSupervisor, RestartPolicy
 
 __all__ = [
     "WorkloadSpec",
@@ -136,7 +137,16 @@ def request_stream(
 
 
 class ReplicaPool:
-    """N real ``repro-serve`` subprocesses, banner-parsed for their ports."""
+    """N real ``repro-serve`` subprocesses behind a replica supervisor.
+
+    The pool owns topology (flavor, cache flags, fault schedules) and
+    delegates lifecycle to :class:`~repro.service.supervisor.
+    ReplicaSupervisor`: ports are banner-parsed on first launch and
+    pinned across restarts, shutdown escalates SIGTERM→SIGKILL.  Plain
+    load runs never start the monitor (a dead replica stays dead, as
+    before); chaos runs pass ``supervise=True`` and get automatic
+    restart-with-backoff plus per-incarnation metric scraping.
+    """
 
     def __init__(
         self,
@@ -148,6 +158,10 @@ class ReplicaPool:
         max_queue: int = 128,
         faults: str | None = None,
         startup_timeout: float = 20.0,
+        lease_stale_seconds: float | None = None,
+        supervise: bool = False,
+        policy: RestartPolicy | None = None,
+        seed: int = 0,
     ) -> None:
         if flavor not in ("threaded", "async"):
             raise ReproError(f"unknown server flavor {flavor!r}")
@@ -159,12 +173,30 @@ class ReplicaPool:
         self.max_queue = max_queue
         self.faults = faults
         self.startup_timeout = startup_timeout
-        self.processes: list[subprocess.Popen[str]] = []
-        self.ports: list[int] = []
+        self.lease_stale_seconds = lease_stale_seconds
+        self.supervise = supervise
+        #: Per-replica fault-schedule overrides (chaos fault bursts);
+        #: picked up by the replica's *next* incarnation.
+        self._fault_overrides: dict[int, str] = {}
+        self.supervisor = ReplicaSupervisor(
+            self._launch_replica, count=count, policy=policy, seed=seed
+        )
 
-    def _serve_args(self) -> list[str]:
+    @property
+    def ports(self) -> list[int]:
+        return self.supervisor.ports
+
+    @property
+    def processes(self) -> list[Any]:
+        return list(self.supervisor.processes)
+
+    def set_fault_override(self, index: int, schedule_path: str) -> None:
+        """Arm replica *index*'s next incarnation with a fault schedule."""
+        self._fault_overrides[index] = schedule_path
+
+    def _serve_args(self, index: int, port: int) -> list[str]:
         args = [
-            "--port", "0",
+            "--port", str(port),
             "--grace", "2",
             "--max-inflight", str(self.max_inflight),
             "--max-queue", str(self.max_queue),
@@ -175,11 +207,22 @@ class ReplicaPool:
             args += ["--cache-dir", str(self.cache_dir)]
         if self.shared:
             args.append("--shared-cache")
-        if self.faults is not None:
-            args += ["--faults", self.faults]
+        if self.lease_stale_seconds is not None:
+            args += ["--lease-stale", str(self.lease_stale_seconds)]
+        faults = self._fault_overrides.get(index, self.faults)
+        if faults is not None:
+            args += ["--faults", faults]
         return args
 
-    def __enter__(self) -> "ReplicaPool":
+    def _launch_replica(
+        self, index: int, incarnation: int, port_hint: int
+    ) -> tuple[subprocess.Popen[str], int]:
+        """Spawn one ``repro-serve`` and banner-parse its bound port.
+
+        The first incarnation binds port 0 (ephemeral); restarts re-bind
+        the replica's original port (``SO_REUSEADDR`` on both flavors),
+        so clients keep one stable address per replica.
+        """
         env = dict(os.environ)
         package_root = str(Path(repro.__file__).resolve().parent.parent)
         existing = env.get("PYTHONPATH")
@@ -188,23 +231,30 @@ class ReplicaPool:
         )
         code = (
             "from repro.cli import serve_main; "
-            f"raise SystemExit(serve_main({self._serve_args()!r}))"
+            f"raise SystemExit(serve_main({self._serve_args(index, port_hint)!r}))"
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
         )
         try:
-            for _ in range(self.count):
-                process = subprocess.Popen(
-                    [sys.executable, "-c", code],
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.DEVNULL,
-                    text=True,
-                    env=env,
-                )
-                self.processes.append(process)
-            for process in self.processes:
-                self.ports.append(self._await_banner(process))
+            port = self._await_banner(process)
         except BaseException:
-            self.shutdown()
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=5.0)
+            if process.stdout is not None:
+                process.stdout.close()
             raise
+        return process, port
+
+    def __enter__(self) -> "ReplicaPool":
+        self.supervisor.start()
+        if self.supervise:
+            self.supervisor.start_monitor()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -226,20 +276,7 @@ class ReplicaPool:
                 raise ReproError("timed out waiting for the server banner")
 
     def shutdown(self) -> None:
-        import signal as _signal
-
-        for process in self.processes:
-            if process.poll() is None:
-                process.send_signal(_signal.SIGTERM)
-        for process in self.processes:
-            try:
-                process.wait(timeout=10.0)
-            except subprocess.TimeoutExpired:
-                process.kill()
-                process.wait(timeout=5.0)
-            if process.stdout is not None:
-                process.stdout.close()
-        self.processes.clear()
+        self.supervisor.stop(grace_seconds=10.0)
 
     def metrics(self) -> list[dict[str, Any]]:
         """One ``GET /metrics`` snapshot per replica (blocking)."""
@@ -263,6 +300,15 @@ class _ClientStats:
     latencies: list[float] = field(default_factory=list)
     statuses: dict[int, int] = field(default_factory=dict)
     errors: int = 0
+    reconnects: int = 0
+
+
+async def _close_quietly(writer: asyncio.StreamWriter) -> None:
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (OSError, ConnectionError):
+        pass
 
 
 async def _drive_connection(
@@ -273,18 +319,48 @@ async def _drive_connection(
     stop_at: float,
     max_requests: int,
     stats: _ClientStats,
+    record: Callable[[int, int, bytes], None] | None = None,
 ) -> None:
-    """One keep-alive connection's closed loop: send, await, record."""
-    try:
-        reader, writer = await asyncio.open_connection(host, port)
-    except OSError:
-        stats.errors += 1
-        return
+    """One keep-alive connection's closed loop: send, await, record.
+
+    A replica dying mid-request — ``ConnectionResetError`` /
+    ``BrokenPipeError`` on the write, a truncated or garbled response on
+    the read, connection refused while it restarts — is an *event*, not
+    the end of the run: the failure is counted in ``stats.errors``, the
+    connection is re-opened (with a short capped backoff, counted in
+    ``stats.reconnects``), and the unanswered request is re-sent.
+    Assessments are deterministic and cached, so the retry is
+    idempotent.  *record*, when given, sees ``(payload_index, status,
+    body)`` for every completed response — the chaos verifier compares
+    these against a fault-free oracle replay.
+    """
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
     sent = 0
+    backoff = 0.02
+    iterator = iter(indices)
+    index: int | None = None
     try:
-        for index in indices:
-            if sent >= max_requests or time.monotonic() >= stop_at:
-                return
+        while sent < max_requests and time.monotonic() < stop_at:
+            if writer is None or reader is None:
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                    backoff = 0.02
+                except OSError:
+                    # The replica is down (or restarting): back off a
+                    # little, but never past the cell's own deadline.
+                    stats.errors += 1
+                    remaining = stop_at - time.monotonic()
+                    if remaining <= 0:
+                        return
+                    await asyncio.sleep(min(backoff, remaining))
+                    backoff = min(0.25, backoff * 2.0)
+                    continue
+            if index is None:
+                try:
+                    index = next(iterator)
+                except StopIteration:
+                    return
             body = payloads[index]
             head = (
                 "POST /assess HTTP/1.1\r\n"
@@ -294,20 +370,27 @@ async def _drive_connection(
                 "\r\n"
             ).encode("latin-1")
             start = time.perf_counter()
-            writer.write(head + body)
-            await writer.drain()
-            status, _ = await _read_response(reader)
+            try:
+                writer.write(head + body)
+                await writer.drain()
+                status, response_body = await _read_response(reader)
+            except (OSError, asyncio.IncompleteReadError, ValueError):
+                # Killed mid-request; re-send this index on a fresh
+                # connection (the next loop iteration reconnects).
+                stats.errors += 1
+                stats.reconnects += 1
+                await _close_quietly(writer)
+                reader = writer = None
+                continue
             stats.latencies.append(time.perf_counter() - start)
             stats.statuses[status] = stats.statuses.get(status, 0) + 1
+            if record is not None:
+                record(index, status, response_body)
             sent += 1
-    except (OSError, asyncio.IncompleteReadError, ValueError):
-        stats.errors += 1
+            index = None
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (OSError, ConnectionError):
-            pass
+        if writer is not None:
+            await _close_quietly(writer)
 
 
 async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
@@ -344,6 +427,7 @@ class CellResult:
     coalesce_count: int
     client_errors: int
     statuses: dict[int, int]
+    reconnects: int = 0
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -359,6 +443,7 @@ class CellResult:
             "cache_hit_ratio": round(self.cache_hit_ratio, 5),
             "coalesce_count": self.coalesce_count,
             "client_errors": self.client_errors,
+            "reconnects": self.reconnects,
             "statuses": {str(code): count for code, count in sorted(self.statuses.items())},
         }
 
@@ -464,6 +549,7 @@ def run_cell(
         coalesce_count=coalesced,
         client_errors=stats.errors,
         statuses=dict(stats.statuses),
+        reconnects=stats.reconnects,
     )
 
 
@@ -513,6 +599,7 @@ def run_shared_cache_trial(
         "lease_coalesced": lease_coalesced,
         "artifacts": len(artifacts),
         "client_errors": stats.errors,
+        "reconnects": stats.reconnects,
     }
 
 

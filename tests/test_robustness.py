@@ -655,3 +655,29 @@ class TestSigtermDrain:
         assert status == 200
         assert answer["partial"] is False
         assert answer["assessment"]["decision"] != "INCONCLUSIVE"
+
+
+class TestChaosSoak:
+    """A bounded end-to-end chaos run: kill -9 under live load, recover,
+    and prove nothing broke (docs/robustness.md, "Chaos testing")."""
+
+    def test_seeded_chaos_run_survives_verification(self, tmp_path):
+        from repro.service.chaos import run_chaos
+
+        result = run_chaos(
+            tmp_path / "chaos",
+            seed=3,
+            duration_seconds=6.0,
+            connections=4,
+            profiles=10,
+        )
+        assert result.report.ok, result.report.to_json()
+        assert result.delivered.kills >= 3
+        assert result.record["supervisor"]["restarts"] >= result.delivered.kills
+        assert result.record["client"]["requests"] > 0
+        # the record replays: same seed, same schedule digest
+        from repro.service.chaos import generate_schedule, schedule_digest
+
+        assert result.record["schedule_digest"] == schedule_digest(
+            generate_schedule(3, 6.0, 2)
+        )
